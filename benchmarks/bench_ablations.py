@@ -1,0 +1,48 @@
+"""Design-choice ablations (DESIGN.md §5): allocation, binning, rules.
+
+Not a paper table — these quantify the §3 design decisions the paper
+justifies qualitatively: weighted budget allocation, frequency-dependent
+binning, and the tau-capped protocol rules.
+"""
+
+from conftest import attach
+
+from repro.experiments import ablations
+
+
+def test_ablation_weighted_allocation(benchmark, scale):
+    small = scale.smaller(n_records=max(scale.n_records // 2, 2000))
+    result = benchmark.pedantic(
+        lambda: ablations.run_allocation(small), rounds=1, iterations=1, warmup_rounds=0
+    )
+    attach(benchmark, result)
+    print(f"[abl-alloc] weighted={result['weighted']:.4f}  uniform={result['uniform']:.4f} (mean JSD)")
+    # Weighted allocation should not be materially worse than uniform.
+    assert result["weighted"] <= result["uniform"] + 0.05
+
+
+def test_ablation_binning_threshold(benchmark, scale):
+    small = scale.smaller(n_records=max(scale.n_records // 2, 2000))
+    result = benchmark.pedantic(
+        lambda: ablations.run_binning_threshold(small), rounds=1, iterations=1, warmup_rounds=0
+    )
+    attach(benchmark, result)
+    for sigmas, row in result.items():
+        print(f"[abl-bin] threshold={sigmas}s  dstport_bins={row['dstport_bins']}  jsd={row['dstport_jsd']:.4f}")
+    # Higher thresholds merge more aggressively: domains shrink monotonically.
+    bins = [row["dstport_bins"] for _, row in sorted(result.items())]
+    assert bins == sorted(bins, reverse=True)
+
+
+def test_ablation_protocol_rules(benchmark, scale):
+    small = scale.smaller(n_records=max(scale.n_records // 2, 2000))
+    result = benchmark.pedantic(
+        lambda: ablations.run_protocol_rules(small), rounds=1, iterations=1, warmup_rounds=0
+    )
+    attach(benchmark, result)
+    print(
+        "[abl-rules] raw={raw:.4f}  rules_on={rules_on:.4f}  rules_off={rules_off:.4f} "
+        "(fraction of FTP flows on UDP)".format(**result)
+    )
+    # The tau rule caps FTP-over-UDP mass without zeroing it (footnote 1).
+    assert result["rules_on"] <= max(result["rules_off"], 0.12) + 1e-9

@@ -1,0 +1,31 @@
+"""Figure 2: sketch heavy-hitter relative error on DC and CAIDA.
+
+Paper shape: NetShare ≫ marginal-based methods (up to 12x NetDPSyn on
+DC/CSM, 9x on CAIDA/CS); PrivMRF N/A (OOM) on both packet datasets.
+"""
+
+from conftest import attach, fmt
+
+from repro.experiments import fig2_sketch
+
+
+def test_fig2_sketch_relative_error(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: fig2_sketch.run(scale), rounds=1, iterations=1, warmup_rounds=0
+    )
+    attach(benchmark, result)
+    for dataset, per_sketch in result.items():
+        for sketch, per_method in per_sketch.items():
+            row = "  ".join(f"{m}={fmt(v)}" for m, v in per_method.items())
+            print(f"[fig2] {dataset:<6s} {sketch:<4s} {row}")
+    # Shape assertions: NetDPSyn beats NetShare on the majority of cells.
+    wins = total = 0
+    for per_sketch in result.values():
+        for per_method in per_sketch.values():
+            ours = per_method.get("netdpsyn")
+            theirs = per_method.get("netshare")
+            if ours is not None and theirs is not None:
+                total += 1
+                wins += ours <= theirs
+    assert total > 0
+    assert wins >= total / 2

@@ -1,0 +1,38 @@
+"""Figure 4: NetML anomaly-ratio relative error on DC and CAIDA.
+
+Paper shape: NetDPSyn comparable to NetShare except SAMP-SIZE; PGM breaks
+("NaN") on CAIDA because its output barely contains multi-packet flows.
+"""
+
+import numpy as np
+from conftest import attach, fmt
+
+from repro.experiments import fig4_netml
+from repro.netml import NETML_MODES
+
+
+def test_fig4_netml_relative_error(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: fig4_netml.run(scale), rounds=1, iterations=1, warmup_rounds=0
+    )
+    attach(
+        benchmark,
+        {
+            ds: {mode: payload[mode] for mode in NETML_MODES}
+            for ds, payload in result.items()
+        },
+    )
+    for dataset, payload in result.items():
+        for mode in NETML_MODES:
+            row = "  ".join(f"{m}={fmt(v)}" for m, v in payload[mode].items())
+            print(f"[fig4] {dataset:<6s} {mode:<10s} {row}")
+
+    # NetDPSyn must produce NetML-usable flows on both packet datasets.
+    for dataset, payload in result.items():
+        defined = [
+            payload[mode]["netdpsyn"]
+            for mode in NETML_MODES
+            if payload[mode]["netdpsyn"] is not None
+        ]
+        assert len(defined) >= 4, f"NetDPSyn NetML broke on {dataset}"
+        assert all(np.isfinite(v) for v in defined)

@@ -1,0 +1,32 @@
+"""Figure 6 (Appendix E): CAIDA attribute-wise JSD and normalized EMD.
+
+Paper shape: marginal-based methods dominate the categorical metrics;
+PrivMRF is absent (memory); PAT is the one metric where NetShare's
+time-series generator can compete.
+"""
+
+import numpy as np
+from conftest import attach, fmt
+
+from repro.experiments import fig5_fig6_attributes
+
+
+def test_fig6_caida_attribute_fidelity(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: fig5_fig6_attributes.run(scale, dataset="caida"),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    attach(benchmark, result)
+    for metric, per_method in result["jsd"].items():
+        print(f"[fig6] JSD {metric:<3s} " + "  ".join(f"{m}={fmt(v)}" for m, v in per_method.items()))
+    for metric, per_method in result["emd_normalized"].items():
+        print(f"[fig6] EMD {metric:<4s} " + "  ".join(f"{m}={fmt(v)}" for m, v in per_method.items()))
+
+    # PrivMRF is N/A on packets (the paper's missing bars).
+    assert all(pm["privmrf"] is None for pm in result["jsd"].values())
+    # NetDPSyn's categorical fidelity beats NetShare's on average.
+    def mean_jsd(method):
+        values = [pm[method] for pm in result["jsd"].values() if pm.get(method) is not None]
+        return np.mean(values) if values else np.inf
+
+    assert mean_jsd("netdpsyn") < mean_jsd("netshare")

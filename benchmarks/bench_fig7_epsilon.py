@@ -1,0 +1,35 @@
+"""Figure 7 (Appendix F): TON accuracy at epsilon ∈ {0.1, 1.0, 2.0}.
+
+Paper shape: NetDPSyn's DT/RF accuracy is nearly flat across the sweep —
+utility survives strong privacy — while NetShare stays far below Real
+everywhere.
+"""
+
+from conftest import attach, fmt
+
+from repro.experiments import fig7_tab67_epsilon
+
+
+def test_fig7_epsilon_sweep(benchmark, scale):
+    small = scale.smaller()
+    result = benchmark.pedantic(
+        lambda: fig7_tab67_epsilon.run(small), rounds=1, iterations=1, warmup_rounds=0
+    )
+    attach(benchmark, result)
+    for eps, per_model in result.items():
+        for model, per_method in per_model.items():
+            row = "  ".join(f"{m}={fmt(v)}" for m, v in per_method.items())
+            print(f"[fig7] eps={eps:<4} {model:<3s} {row}")
+
+    # NetDPSyn keeps most of its accuracy even at eps=0.1.  At our record
+    # counts (50-100x below the paper's) the eps=0.1 noise-to-signal ratio
+    # is proportionally harsher, so the tolerated gap is wider than the
+    # paper's near-flat curve; the ordering vs NetShare must still hold.
+    for model in ("DT", "RF"):
+        strong = result[0.1][model]["netdpsyn"]
+        relaxed = result[2.0][model]["netdpsyn"]
+        assert strong is not None and relaxed is not None
+        assert relaxed - strong < 0.35
+        netshare = result[2.0][model]["netshare"]
+        if netshare is not None:
+            assert relaxed > netshare

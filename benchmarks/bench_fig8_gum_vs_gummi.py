@@ -1,0 +1,26 @@
+"""Figure 8 (Appendix F): GUMMI vs GUM across update-iteration budgets.
+
+Paper shape: at 1 round GUMMI ≈ 0.85 vs GUM ≈ 0.45 (DT); the two converge
+by ~10 rounds.  The claim is the gap at small budgets, not the asymptote.
+"""
+
+from conftest import attach, fmt
+
+from repro.experiments import fig8_gum_vs_gummi
+
+
+def test_fig8_gummi_vs_gum(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: fig8_gum_vs_gummi.run(scale, rounds=(1, 2, 3, 4, 5, 10, 20)),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    attach(benchmark, result)
+    for model, per_round in result.items():
+        for r, entry in sorted(per_round.items()):
+            row = "  ".join(f"{k}={fmt(v)}" for k, v in entry.items())
+            print(f"[fig8] {model:<3s} rounds={r:<3d} {row}")
+
+    # GUMMI >= GUM at the smallest budgets for DT (the paper's headline gap).
+    for r in (1, 2):
+        entry = result["DT"][r]
+        assert entry["gummi"] >= entry["gum"] - 0.02, (r, entry)

@@ -1,0 +1,39 @@
+"""Table 1: Spearman rank correlation of model rankings on flow datasets.
+
+Paper: NetDPSyn 0.90 / 0.90 / 0.45 on TON / CIDDS / UGR16 — the highest
+of all methods on every dataset.
+"""
+
+from conftest import attach, fmt
+
+from repro.experiments import fig3_classification, tab1_rank_correlation
+
+
+def test_tab1_rank_correlation(benchmark, scale):
+    fig3_holder = {}
+
+    def compute():
+        fig3 = fig3_classification.run(scale)  # cache-shared with bench_fig3
+        fig3_holder.update(fig3)
+        return tab1_rank_correlation.from_fig3(fig3)
+
+    result = benchmark.pedantic(compute, rounds=1, iterations=1, warmup_rounds=0)
+    attach(benchmark, result)
+    for dataset, row in result.items():
+        cells = "  ".join(f"{m}={fmt(v)}" for m, v in row.items())
+        print(f"[tab1] {dataset:<6s} {cells}")
+
+    # Shape: NetDPSyn's rank correlation is at least as high as NetShare's
+    # wherever both are defined — on datasets whose model ranking carries
+    # signal.  When all real accuracies sit at the majority-class ceiling
+    # (UGR16's binary imbalance, §4.3), the ranking is noise and the paper
+    # itself reports depressed values there.
+    for dataset, row in result.items():
+        real_scores = [pm.get("real") for pm in fig3_holder[dataset].values()]
+        spread = max(real_scores) - min(real_scores)
+        if spread < 0.02:
+            continue
+        ours = row.get("netdpsyn")
+        theirs = row.get("netshare")
+        if ours is not None and theirs is not None:
+            assert ours >= theirs - 1e-9, dataset

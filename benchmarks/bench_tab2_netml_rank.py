@@ -1,0 +1,26 @@
+"""Table 2: rank correlation of NetML modes on packet datasets.
+
+Paper: NetDPSyn best (-0.48 CAIDA, 0.26 DC); NetShare strongly negative;
+PGM N/A or negative; PrivMRF N/A.
+"""
+
+from conftest import attach, fmt
+
+from repro.experiments import fig4_netml, tab2_netml_rank
+
+
+def test_tab2_netml_rank_correlation(benchmark, scale):
+    def compute():
+        fig4 = fig4_netml.run(scale)  # cache-shared with bench_fig4
+        return tab2_netml_rank.from_fig4(fig4)
+
+    result = benchmark.pedantic(compute, rounds=1, iterations=1, warmup_rounds=0)
+    attach(benchmark, result)
+    for dataset, row in result.items():
+        cells = "  ".join(f"{m}={fmt(v)}" for m, v in row.items())
+        print(f"[tab2] {dataset:<6s} {cells}")
+
+    # NetDPSyn produces a defined correlation on both packet datasets.
+    for dataset, row in result.items():
+        assert row.get("netdpsyn") is not None, dataset
+        assert -1.0 <= row["netdpsyn"] <= 1.0

@@ -1,0 +1,24 @@
+"""Table 4 (Appendix C): example marginal tables on TON dstport × type."""
+
+from conftest import attach
+
+from repro.experiments import tab4_marginal_examples
+
+
+def test_tab4_marginal_examples(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: tab4_marginal_examples.run(scale), rounds=1, iterations=1, warmup_rounds=0
+    )
+    attach(benchmark, result)
+    print("[tab4] 1-way dstport:", result["one_way_dstport"][:3])
+    print("[tab4] 1-way type:   ", result["one_way_type"][:3])
+    print("[tab4] noisy 2-way:  ", [(a, b, round(c, 2)) for a, b, c in result["noisy_2way"][:3]])
+    print("[tab4] postprocessed:", [(a, b, round(c, 1)) for a, b, c in result["postprocessed_2way"][:3]])
+
+    # Post-processing restores validity: non-negative cells.
+    assert all(c >= 0 for _, _, c in result["postprocessed_2way"])
+    # The noisy table is actually noisy (fractional cells).
+    assert any(abs(c - round(c)) > 1e-6 for _, _, c in result["noisy_2way"])
+    # The marquee correlation survives: 'normal' rows dominate the top cells.
+    top_types = [t for _, t, _ in result["postprocessed_2way"][:3]]
+    assert "normal" in top_types

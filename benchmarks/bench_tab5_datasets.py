@@ -1,0 +1,24 @@
+"""Table 5: dataset summary statistics vs the paper's reference values."""
+
+from conftest import attach
+
+from repro.experiments import tab5_datasets
+
+
+def test_tab5_dataset_summary(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: tab5_datasets.run(scale), rounds=1, iterations=1, warmup_rounds=0
+    )
+    attach(benchmark, result)
+    for name, row in result.items():
+        print(
+            f"[tab5] {name:<6s} records={row['records']:<7d} attrs={row['attributes']:<3d} "
+            f"domain={row['domain']:<8d} label={row['label']:<6s} type={row['type']} "
+            f"(paper: {row['paper_records']} recs, {row['paper_attributes']} attrs, "
+            f"{row['paper_domain']:.0e} domain)"
+        )
+    # Attribute counts match Table 5 exactly; kinds match.
+    for row in result.values():
+        assert row["attributes"] == row["paper_attributes"]
+    assert result["ton"]["type"] == "flow"
+    assert result["dc"]["type"] == "packet"

@@ -1,0 +1,30 @@
+"""Table 6 (Appendix F): TON DT/RF accuracy, NetDPSyn vs NetShare, large eps.
+
+Paper shape: NetDPSyn saturates by eps=16 (0.94+); NetShare improves only
+marginally even at eps=1e10 and never approaches NetDPSyn.
+"""
+
+from conftest import attach, fmt
+
+from repro.experiments import fig7_tab67_epsilon
+
+
+def test_tab6_ton_large_epsilon(benchmark, scale):
+    small = scale.smaller(n_records=max(scale.n_records // 2, 2000))
+    result = benchmark.pedantic(
+        lambda: fig7_tab67_epsilon.run_sweep(small, dataset="ton"),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    attach(benchmark, result)
+    for eps, per_model in result.items():
+        for model, per_method in per_model.items():
+            row = "  ".join(f"{m}={fmt(v)}" for m, v in per_method.items())
+            print(f"[tab6] eps={eps:<8g} {model:<3s} {row}")
+
+    # NetDPSyn dominates NetShare at every epsilon in the sweep.
+    for eps, per_model in result.items():
+        for model, per_method in per_model.items():
+            ours = per_method.get("netdpsyn")
+            theirs = per_method.get("netshare")
+            if ours is not None and theirs is not None:
+                assert ours > theirs, (eps, model)

@@ -1,0 +1,31 @@
+"""Table 7 (Appendix F): UGR16 DT/RF accuracy over the large-epsilon sweep.
+
+Paper shape: the binary imbalanced task saturates immediately — NetDPSyn
+holds ~0.98 at every epsilon while NetShare plateaus visibly lower.
+"""
+
+from conftest import attach, fmt
+
+from repro.experiments import fig7_tab67_epsilon
+
+
+def test_tab7_ugr16_large_epsilon(benchmark, scale):
+    small = scale.smaller(n_records=max(scale.n_records // 2, 2000))
+    result = benchmark.pedantic(
+        lambda: fig7_tab67_epsilon.run_sweep(small, dataset="ugr16"),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    attach(benchmark, result)
+    for eps, per_model in result.items():
+        for model, per_method in per_model.items():
+            row = "  ".join(f"{m}={fmt(v)}" for m, v in per_method.items())
+            print(f"[tab7] eps={eps:<8g} {model:<3s} {row}")
+
+    # Accuracy barely moves across epsilon for NetDPSyn (imbalanced binary).
+    for model in ("DT", "RF"):
+        values = [
+            per_model[model]["netdpsyn"]
+            for per_model in result.values()
+            if per_model[model]["netdpsyn"] is not None
+        ]
+        assert max(values) - min(values) < 0.1

@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one paper table/figure through
+:mod:`repro.experiments` and attaches the resulting rows to the
+pytest-benchmark record (``extra_info``) so ``--benchmark-json`` output
+carries the numbers EXPERIMENTS.md reports.
+
+Scale is controlled by the REPRO_BENCH_RECORDS environment variable
+(default 6000); the synthetic-output cache in the runner is shared across
+benches within one pytest session, so e.g. Table 1 reuses Figure 3's
+synthesis runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentScale
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    """The session-wide laptop-scale configuration."""
+    return ExperimentScale(
+        n_records=_env_int("REPRO_BENCH_RECORDS", 6000),
+        seed=_env_int("REPRO_BENCH_SEED", 0),
+    )
+
+
+def attach(benchmark, payload: dict) -> None:
+    """Record experiment rows on the benchmark for JSON export."""
+    benchmark.extra_info["result"] = payload
+
+
+def fmt(value) -> str:
+    """Render a result cell (None -> the paper's N/A)."""
+    if value is None:
+        return "N/A"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,62 @@
+"""Flow anomaly detection on synthesized traces (the paper's §4.3 use case).
+
+Trains the paper's five classifiers on (a) raw flows and (b) NetDPSyn
+output, evaluates both on held-out raw flows, and reports the accuracy gap
+plus the Spearman rank correlation of the model rankings — Figure 3 and
+Table 1 in miniature.
+
+    python examples/flow_anomaly_detection.py
+"""
+
+import numpy as np
+
+from repro import NetDPSyn, SynthesisConfig, load_dataset
+from repro.metrics import spearman_rank_correlation
+from repro.ml import accuracy_score, build_classifier
+from repro.ml.model_zoo import PAPER_MODELS
+
+
+def features(table, label):
+    X, _ = table.feature_matrix(exclude=(label,))
+    return X, np.asarray(table.column(label))
+
+
+def main() -> None:
+    raw = load_dataset("ton", n_records=8000, seed=1)
+    label = raw.schema.label_field.name
+
+    # 80/20 random split, as in the paper (footnote 3).
+    rng = np.random.default_rng(7)
+    perm = rng.permutation(raw.n_records)
+    n_test = raw.n_records // 5
+    test, train = raw.take(perm[:n_test]), raw.take(perm[n_test:])
+
+    print("synthesizing from the training split (epsilon=2)...")
+    synthetic = NetDPSyn(SynthesisConfig(epsilon=2.0), rng=1).synthesize(train)
+
+    X_test, y_test = features(test, label)
+    results = {}
+    for source_name, source in (("real", train), ("netdpsyn", synthetic)):
+        X_train, y_train = features(source, label)
+        for model_name in PAPER_MODELS:
+            model = build_classifier(model_name, rng=3)
+            model.fit(X_train, y_train)
+            acc = accuracy_score(y_test, model.predict(X_test))
+            results[(source_name, model_name)] = acc
+
+    print(f"\n{'model':<6s} {'real':>8s} {'netdpsyn':>10s} {'gap':>8s}")
+    for model_name in PAPER_MODELS:
+        real = results[("real", model_name)]
+        syn = results[("netdpsyn", model_name)]
+        print(f"{model_name:<6s} {real:>8.3f} {syn:>10.3f} {real - syn:>8.3f}")
+
+    rho = spearman_rank_correlation(
+        [results[("real", m)] for m in PAPER_MODELS],
+        [results[("netdpsyn", m)] for m in PAPER_MODELS],
+    )
+    print(f"\nSpearman rank correlation of model rankings: {rho:.2f}")
+    print("(paper Table 1 reports 0.90 for NetDPSyn on TON)")
+
+
+if __name__ == "__main__":
+    main()

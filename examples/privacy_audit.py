@@ -1,0 +1,72 @@
+"""Privacy audit: membership inference against raw vs DP-synthesized data.
+
+Reproduces the paper's Appendix G in miniature: the Yeom loss-threshold
+attack succeeds well above chance against a model trained on raw flows,
+and collapses toward chance when the model is trained on NetDPSyn output —
+more so at smaller epsilon.  Also contrasts with CryptoPAn anonymization,
+the classical redaction approach the paper argues is insufficient.
+
+    python examples/privacy_audit.py
+"""
+
+import numpy as np
+
+from repro import NetDPSyn, SynthesisConfig, load_dataset
+from repro.anonymization import CryptoPan
+from repro.attacks import loss_threshold_mia
+from repro.ml import DecisionTreeClassifier
+
+
+def features(table, label):
+    X, _ = table.feature_matrix(exclude=(label,))
+    return X, np.asarray(table.column(label))
+
+
+def main() -> None:
+    raw = load_dataset("ton", n_records=6000, seed=4)
+    label = raw.schema.label_field.name
+    rng = np.random.default_rng(11)
+    perm = rng.permutation(raw.n_records)
+    n_test = raw.n_records // 5
+    test, train = raw.take(perm[:n_test]), raw.take(perm[n_test:])
+
+    X_train, y_train = features(train, label)
+    X_test, y_test = features(test, label)
+
+    print("=== membership inference (Yeom loss-threshold attack) ===")
+    # The attack exploits overfitting, so the target is a deep memorizing tree.
+    target = DecisionTreeClassifier(max_depth=40, min_samples_leaf=1, rng=0)
+    target.fit(X_train, y_train)
+    raw_attack = loss_threshold_mia(target, X_train, y_train, X_test, y_test, rng=1)
+    print(f"model trained on RAW data:        attack accuracy {raw_attack.accuracy:.1%}")
+
+    for eps in (2.0, 0.1):
+        synthetic = NetDPSyn(SynthesisConfig(epsilon=eps), rng=5).synthesize(train)
+        X_syn, y_syn = features(synthetic, label)
+        surrogate = DecisionTreeClassifier(max_depth=40, min_samples_leaf=1, rng=0)
+        surrogate.fit(X_syn, y_syn)
+        attack = loss_threshold_mia(surrogate, X_train, y_train, X_test, y_test, rng=1)
+        print(
+            f"model trained on NetDPSyn eps={eps:<4}: attack accuracy {attack.accuracy:.1%}"
+        )
+    print("(paper App. G: 64.0% raw, 55.9% at eps=2, 40.9% at eps=0.1)")
+
+    print("\n=== why not just anonymize IPs? (paper §2.1) ===")
+    pan = CryptoPan(b"institutional-secret-key")
+    srcips = np.asarray(train.column("srcip"), dtype=np.int64)[:2000]
+    anonymized = pan.anonymize(srcips)
+    # Prefix structure survives anonymization: subnet frequencies leak.
+    raw_prefixes, raw_counts = np.unique(srcips >> 8, return_counts=True)
+    anon_prefixes, anon_counts = np.unique(anonymized >> 8, return_counts=True)
+    print(f"distinct /24 prefixes: raw={len(raw_prefixes)}, anonymized={len(anon_prefixes)}")
+    print(
+        "top-prefix share:      raw={:.1%}, anonymized={:.1%}".format(
+            raw_counts.max() / len(srcips), anon_counts.max() / len(srcips)
+        )
+    )
+    print("prefix-preserving anonymization keeps the traffic-volume fingerprint —")
+    print("the institutional-privacy leak that motivates DP synthesis instead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Quickstart: synthesize a DP-protected flow trace and inspect its fidelity.
+
+Runs the full NetDPSyn pipeline (binning → marginal selection → noisy
+publication → GUMMI synthesis) on a TON-style IoT flow trace at the paper's
+default budget (epsilon=2, delta=1e-5) and prints before/after statistics.
+
+    python examples/quickstart.py
+"""
+
+import collections
+
+import numpy as np
+
+from repro import NetDPSyn, SynthesisConfig, load_dataset
+from repro.metrics import earth_movers_distance, jensen_shannon_divergence
+
+
+def main() -> None:
+    raw = load_dataset("ton", n_records=8000, seed=0)
+    print(f"raw trace: {raw.n_records} flows, fields: {list(raw.schema.names)}")
+
+    config = SynthesisConfig(epsilon=2.0, delta=1e-5)
+    synthesizer = NetDPSyn(config, rng=0)
+    synthetic = synthesizer.synthesize(raw)
+    print(f"synthetic trace: {synthetic.n_records} flows")
+
+    ledger = synthesizer.ledger
+    print(f"\nprivacy ledger (rho-zCDP): total={ledger.total:.4f}")
+    for purpose, rho in ledger.entries():
+        print(f"  {purpose:<32s} rho={rho:.4f}")
+
+    print(f"\nselected 2-way marginals: {len(synthesizer.selection.pairs)}")
+    print("published marginal tables:")
+    for marginal in synthesizer.published:
+        print(f"  {' x '.join(marginal.attrs):<40s} {marginal.n_cells:>6d} cells")
+
+    print("\nattribute fidelity (raw vs synthetic):")
+    for column in ("dstport", "proto", "type"):
+        jsd = jensen_shannon_divergence(raw.column(column), synthetic.column(column))
+        print(f"  JSD[{column:<8s}] = {jsd:.4f}")
+    for column in ("pkt", "byt", "td"):
+        emd = earth_movers_distance(
+            np.asarray(raw.column(column), dtype=float),
+            np.asarray(synthetic.column(column), dtype=float),
+        )
+        print(f"  EMD[{column:<8s}] = {emd:.2f}")
+
+    print("\nlabel distribution:")
+    raw_counts = collections.Counter(raw.column("type"))
+    syn_counts = collections.Counter(synthetic.column("type"))
+    for label in sorted(raw_counts):
+        print(f"  {label:<12s} raw={raw_counts[label]:>5d}  syn={syn_counts.get(label, 0):>5d}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Temporal-pattern synthesis via the tsdiff auxiliary attribute (§3.2/§3.4).
+
+Shows how NetDPSyn carries packet-arrival intervals through synthesis:
+the tsdiff attribute is derived group-wise over the flow 5-tuple, binned
+and published like any other field, then used to rebuild timestamps.
+Compares raw vs synthetic inter-arrival distributions and flow-size
+structure on a data-center packet trace.
+
+    python examples/temporal_synthesis.py
+"""
+
+import numpy as np
+
+from repro import NetDPSyn, SynthesisConfig, load_dataset
+from repro.binning.encoder import compute_tsdiff
+from repro.metrics import earth_movers_distance
+from repro.netml import build_flows
+
+
+def interarrivals(table) -> np.ndarray:
+    tsdiff = compute_tsdiff(table, table.schema.effective_flow_key())
+    return tsdiff[tsdiff > 0]
+
+
+def main() -> None:
+    raw = load_dataset("dc", n_records=10000, seed=6)
+    print(f"raw: {raw.n_records} packets, {len(build_flows(raw))} multi-packet flows")
+
+    synthesizer = NetDPSyn(SynthesisConfig(epsilon=2.0), rng=6)
+    synthetic = synthesizer.synthesize(raw)
+    syn_flows = build_flows(synthetic)
+    print(f"syn: {synthetic.n_records} packets, {len(syn_flows)} multi-packet flows")
+
+    raw_iat = interarrivals(raw)
+    syn_iat = interarrivals(synthetic)
+    print("\ninter-arrival times (seconds):")
+    print(f"  raw: median={np.median(raw_iat):.4f}  p90={np.quantile(raw_iat, 0.9):.4f}")
+    print(f"  syn: median={np.median(syn_iat):.4f}  p90={np.quantile(syn_iat, 0.9):.4f}")
+    print(f"  EMD = {earth_movers_distance(raw_iat, syn_iat):.4f}")
+
+    raw_sizes = np.bincount(raw.group_ids(raw.schema.effective_flow_key()))
+    syn_sizes = np.bincount(synthetic.group_ids(synthetic.schema.effective_flow_key()))
+    print("\nflow sizes (packets per 5-tuple):")
+    print(f"  raw: mean={raw_sizes.mean():.2f}  max={raw_sizes.max()}")
+    print(f"  syn: mean={syn_sizes.mean():.2f}  max={syn_sizes.max()}")
+    print(f"  EMD = {earth_movers_distance(raw_sizes, syn_sizes):.3f}")
+
+    # Timestamps within a synthesized flow are strictly ordered by design.
+    ordered = all((np.diff(f.timestamps) >= 0).all() for f in syn_flows)
+    print(f"\nsynthesized flows time-ordered: {ordered}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""repro: a from-scratch reproduction of NetDPSyn (IMC 2024).
+
+Synthesizes network traces (flows and packets) under record-level
+differential privacy by publishing noisy marginals and generating records
+from them — plus every substrate the paper's evaluation needs: baseline
+synthesizers (PGM, PrivMRF, NetShare), sketching algorithms, a from-scratch
+ML suite, the NetML feature library, dataset generators, and a membership-
+inference attack.
+
+Quickstart
+----------
+>>> from repro import NetDPSyn, SynthesisConfig, load_dataset
+>>> raw = load_dataset("ton", n_records=2000, seed=0)
+>>> synthetic = NetDPSyn(SynthesisConfig(epsilon=2.0), rng=0).synthesize(raw)
+"""
+
+from repro.core import NetDPSyn, SynthesisConfig, synthesize
+from repro.data import FieldKind, FieldSpec, Schema, TraceTable
+from repro.datasets import load_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FieldKind",
+    "FieldSpec",
+    "NetDPSyn",
+    "Schema",
+    "SynthesisConfig",
+    "TraceTable",
+    "load_dataset",
+    "synthesize",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Classical trace anonymization (the §2.1 baseline NetDPSyn improves upon)."""
+
+from repro.anonymization.cryptopan import CryptoPan
+
+__all__ = ["CryptoPan"]

@@ -1,0 +1,58 @@
+"""CryptoPAn-style prefix-preserving IP anonymization (Xu et al., 2002).
+
+The conventional redaction approach the paper contrasts with synthesis
+(§2.1): addresses are rewritten so that two addresses sharing a k-bit prefix
+still share a k-bit prefix afterwards.  Each output bit is the input bit
+XORed with a keyed PRF of the preceding prefix — we use SHA-256 as the PRF
+instead of AES, which preserves the structural property exactly.
+
+Included to support the comparison example and to document why the paper
+moves beyond it: prefix structure itself leaks institution-level activity
+(Imana et al., cited in §2.1).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+class CryptoPan:
+    """Deterministic, keyed, prefix-preserving IPv4 anonymizer."""
+
+    def __init__(self, key: bytes) -> None:
+        if not key:
+            raise ValueError("key must be non-empty")
+        self._key = bytes(key)
+        self._cache: dict[int, int] = {}
+
+    def _prf_bit(self, prefix: int, length: int) -> int:
+        """One pseudorandom bit from the (prefix, length) pair."""
+        digest = hashlib.sha256(
+            self._key + length.to_bytes(1, "big") + prefix.to_bytes(4, "big")
+        ).digest()
+        return digest[0] & 1
+
+    def anonymize_int(self, address: int) -> int:
+        """Anonymize one integer IPv4 address."""
+        if not 0 <= address <= 2**32 - 1:
+            raise ValueError(f"not an IPv4 integer: {address}")
+        cached = self._cache.get(address)
+        if cached is not None:
+            return cached
+        result = 0
+        for i in range(32):
+            shift = 31 - i
+            prefix = (address >> (shift + 1)) << (shift + 1) if i > 0 else 0
+            flip = self._prf_bit(prefix >> (shift + 1) if i > 0 else 0, i)
+            bit = (address >> shift) & 1
+            result |= (bit ^ flip) << shift
+        self._cache[address] = result
+        return result
+
+    def anonymize(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorized anonymization of an integer address array."""
+        flat = np.asarray(addresses, dtype=np.int64).ravel()
+        out = np.array([self.anonymize_int(int(a)) for a in flat], dtype=np.int64)
+        return out.reshape(np.asarray(addresses).shape)

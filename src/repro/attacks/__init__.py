@@ -1,0 +1,5 @@
+"""Privacy attacks for the Appendix G analysis."""
+
+from repro.attacks.mia import MiaResult, loss_threshold_mia
+
+__all__ = ["MiaResult", "loss_threshold_mia"]

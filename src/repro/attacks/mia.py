@@ -1,0 +1,74 @@
+"""Membership inference: the Yeom et al. loss-threshold attack (App. G).
+
+The attacker observes a model's per-sample loss and guesses "member" when
+the loss is below the average training loss — models overfit members, so
+their losses are lower.  Applied to a classifier trained on raw data the
+attack succeeds well above chance; trained on DP-synthesized data the signal
+collapses, which is the paper's Appendix G finding (64% raw → ~56% at eps=2
+→ ~41% at eps=0.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class MiaResult:
+    """Outcome of one attack run."""
+
+    accuracy: float
+    threshold: float
+    member_mean_loss: float
+    non_member_mean_loss: float
+
+
+def _per_sample_loss(model, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Cross-entropy of the true label under the model's predicted probs."""
+    probs = model.predict_proba(X)
+    class_index = {c: i for i, c in enumerate(model.classes_)}
+    idx = np.array([class_index.get(v, -1) for v in y])
+    safe = idx >= 0
+    p = np.full(len(y), 1e-12)
+    p[safe] = np.clip(probs[np.arange(len(y))[safe], idx[safe]], 1e-12, 1.0)
+    return -np.log(p)
+
+
+def loss_threshold_mia(
+    model,
+    X_members: np.ndarray,
+    y_members: np.ndarray,
+    X_non_members: np.ndarray,
+    y_non_members: np.ndarray,
+    rng: np.random.Generator | int | None = None,
+) -> MiaResult:
+    """Run the Yeom attack against a fitted classifier.
+
+    ``X_members`` are the records the *target model's training data* was
+    built from (for synthetic-data targets: the raw records behind the
+    synthesis); ``X_non_members`` are held-out records.  Balanced accuracy
+    over an equal number of members and non-members is reported.
+    """
+    rng = ensure_rng(rng)
+    member_loss = _per_sample_loss(model, X_members, y_members)
+    non_member_loss = _per_sample_loss(model, X_non_members, y_non_members)
+
+    # Balance the two populations for a chance level of exactly 0.5.
+    k = min(len(member_loss), len(non_member_loss))
+    member_loss = rng.permutation(member_loss)[:k]
+    non_member_loss = rng.permutation(non_member_loss)[:k]
+
+    threshold = float(member_loss.mean())
+    true_positives = float((member_loss <= threshold).sum())
+    true_negatives = float((non_member_loss > threshold).sum())
+    accuracy = (true_positives + true_negatives) / (2.0 * k)
+    return MiaResult(
+        accuracy=float(accuracy),
+        threshold=threshold,
+        member_mean_loss=float(member_loss.mean()),
+        non_member_mean_loss=float(non_member_loss.mean()),
+    )

@@ -1,0 +1,24 @@
+"""Baseline synthesizers the paper compares against (Appendix D + §2.3)."""
+
+from repro.baselines.base import BaselineSynthesizer
+from repro.baselines.copula import CopulaConfig, GaussianCopulaSynthesizer
+from repro.baselines.netshare import NetShareConfig, NetShareSynthesizer
+from repro.baselines.pgm import PgmConfig, PgmSynthesizer
+from repro.baselines.privmrf import (
+    MemoryBudgetExceeded,
+    PrivMrfConfig,
+    PrivMrfSynthesizer,
+)
+
+__all__ = [
+    "BaselineSynthesizer",
+    "CopulaConfig",
+    "GaussianCopulaSynthesizer",
+    "MemoryBudgetExceeded",
+    "NetShareConfig",
+    "NetShareSynthesizer",
+    "PgmConfig",
+    "PgmSynthesizer",
+    "PrivMrfConfig",
+    "PrivMrfSynthesizer",
+]

@@ -1,0 +1,60 @@
+"""Common interface for all synthesizers (NetDPSyn and baselines).
+
+Every method shares the binning substrate (:class:`~repro.binning.encoder.
+DatasetEncoder`) so utility differences in the experiments come from the
+synthesis strategy, not from incidental encoding choices — mirroring how the
+paper equalizes the privacy budget across methods.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.binning.encoder import TSDIFF, DatasetEncoder, EncodedDataset
+from repro.data.table import TraceTable
+from repro.synthesis.decode import decode_records
+from repro.synthesis.timestamps import reconstruct_timestamps
+from repro.utils.rng import ensure_rng
+
+
+class BaselineSynthesizer(abc.ABC):
+    """fit/sample contract shared with :class:`~repro.core.NetDPSyn`."""
+
+    name: str = "baseline"
+
+    @abc.abstractmethod
+    def fit(self, table: TraceTable) -> "BaselineSynthesizer":
+        """Consume the private trace."""
+
+    @abc.abstractmethod
+    def sample(self, n: int | None = None) -> TraceTable:
+        """Generate a synthetic trace (post-processing only)."""
+
+    def synthesize(self, table: TraceTable, n: int | None = None) -> TraceTable:
+        """One-shot fit + sample."""
+        return self.fit(table).sample(n)
+
+
+def finalize_encoded_sample(
+    data: np.ndarray,
+    template: EncodedDataset,
+    encoder: DatasetEncoder,
+    original_schema,
+    rng: np.random.Generator | int | None,
+    rules: list | None = None,
+) -> TraceTable:
+    """Shared decode path: bins → values → timestamps → original schema."""
+    rng = ensure_rng(rng)
+    encoded = template.replace_data(np.asarray(data, dtype=np.int32))
+    table = decode_records(encoded, encoder, rng, rules=rules)
+    if TSDIFF in table.schema:
+        table = reconstruct_timestamps(
+            table,
+            tsdiff_codes=encoded.column(TSDIFF),
+            tsdiff_codec=encoder.codecs[TSDIFF],
+            rng=rng,
+        )
+    columns = {name: table.column(name) for name in original_schema.names}
+    return TraceTable(original_schema, columns)

@@ -1,0 +1,5 @@
+"""NetShare baseline: GAN-based trace synthesis hardened with DP-SGD."""
+
+from repro.baselines.netshare.synthesizer import NetShareConfig, NetShareSynthesizer
+
+__all__ = ["NetShareConfig", "NetShareSynthesizer"]

@@ -1,0 +1,134 @@
+"""The NetShare GAN: generator vs discriminator with DP-SGD on D.
+
+The discriminator is the only component touching real records, so DP-SGD
+(per-example clipping + Gaussian noise, see :mod:`repro.nn.dpsgd`) on its
+updates provides the (epsilon, delta) guarantee, exactly as NetShare's "DP"
+mode does.  The generator trains on gradients flowing through D — pure
+post-processing of the privatized discriminator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.netshare.representation import BlockOneHot
+from repro.nn.dpsgd import DpSgdOptimizer
+from repro.nn.layers import Dense, LeakyReLU, ReLU
+from repro.nn.losses import bce_with_logits
+from repro.nn.network import Sequential
+from repro.nn.optimizers import Adam
+from repro.utils.rng import ensure_rng
+
+
+class NetShareGan:
+    """Record GAN over block one-hot representations."""
+
+    def __init__(
+        self,
+        blocks: BlockOneHot,
+        z_dim: int = 32,
+        hidden: int = 128,
+        lr: float = 1e-3,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.blocks = blocks
+        self.z_dim = z_dim
+        self.rng = ensure_rng(rng)
+        width = blocks.total
+        self.generator = Sequential(
+            [
+                Dense(z_dim, hidden, self.rng),
+                ReLU(),
+                Dense(hidden, width, self.rng),
+            ]
+        )
+        self.discriminator = Sequential(
+            [
+                Dense(width, hidden, self.rng),
+                LeakyReLU(0.2),
+                Dense(hidden, 1, self.rng),
+            ]
+        )
+        self.g_optimizer = Adam(lr=lr)
+        self.d_optimizer = Adam(lr=lr)
+        self.d_dp: DpSgdOptimizer | None = None
+
+    # ------------------------------------------------------------- generator
+    def generate_probs(self, n: int, training: bool = False) -> np.ndarray:
+        z = self.rng.normal(size=(n, self.z_dim))
+        logits = self.generator.forward(z, training=training)
+        return self.blocks.block_softmax(logits)
+
+    def sample_codes(self, n: int) -> np.ndarray:
+        """Integer attribute codes sampled from the generator."""
+        probs = self.generate_probs(n, training=False)
+        return self.blocks.sample(probs, self.rng)
+
+    # --------------------------------------------------------------- training
+    def train(
+        self,
+        real_onehot: np.ndarray,
+        iterations: int,
+        batch_size: int = 64,
+        noise_multiplier: float = 0.0,
+        clip_norm: float = 1.0,
+    ) -> dict:
+        """Adversarial training; ``noise_multiplier > 0`` enables DP-SGD on D.
+
+        Returns a history dict with discriminator/generator losses.
+        """
+        n = real_onehot.shape[0]
+        if n == 0 or iterations <= 0:
+            return {"d_loss": [], "g_loss": []}
+        batch_size = min(batch_size, n)
+        sample_rate = batch_size / n
+        use_dp = noise_multiplier > 0
+        if use_dp:
+            self.d_dp = DpSgdOptimizer(
+                self.d_optimizer,
+                clip_norm=clip_norm,
+                noise_multiplier=noise_multiplier,
+                sample_rate=sample_rate,
+                rng=self.rng,
+            )
+        history = {"d_loss": [], "g_loss": []}
+        for _ in range(iterations):
+            # ---- discriminator step ---------------------------------------
+            idx = self.rng.choice(n, size=batch_size, replace=False)
+            real = real_onehot[idx]
+            fake = self.generate_probs(batch_size, training=False)
+            batch = np.vstack([real, fake])
+            labels = np.concatenate([np.ones(batch_size), np.zeros(batch_size)])
+            logits = self.discriminator.forward(batch, training=True)
+            d_loss, grad = bce_with_logits(logits, labels)
+            self.discriminator.backward(grad)
+            if use_dp:
+                self.d_dp.step(
+                    self.discriminator.parameters(),
+                    self.discriminator.per_example_gradients(),
+                )
+            else:
+                self.d_optimizer.step(
+                    self.discriminator.parameters(), self.discriminator.gradients()
+                )
+
+            # ---- generator step (post-processing of privatized D) ----------
+            z = self.rng.normal(size=(batch_size, self.z_dim))
+            g_logits = self.generator.forward(z, training=True)
+            probs = self.blocks.block_softmax(g_logits)
+            d_logits = self.discriminator.forward(probs, training=True)
+            g_loss, d_grad = bce_with_logits(d_logits, np.ones(batch_size))
+            grad_wrt_probs = self.discriminator.backward(d_grad)
+            grad_wrt_logits = self.blocks.block_softmax_backward(probs, grad_wrt_probs)
+            self.generator.backward(grad_wrt_logits)
+            self.g_optimizer.step(self.generator.parameters(), self.generator.gradients())
+
+            history["d_loss"].append(d_loss)
+            history["g_loss"].append(g_loss)
+        return history
+
+    def spent_epsilon(self, delta: float) -> float:
+        """Privacy spent by the DP-SGD phase (inf if trained without DP)."""
+        if self.d_dp is None:
+            return float("inf")
+        return self.d_dp.epsilon(delta)

@@ -1,0 +1,65 @@
+"""Record representation for the NetShare GAN.
+
+NetShare trains a time-series GAN over flow-split header fields; our
+documented simplification (DESIGN.md §1) trains a record GAN over the same
+binned attribute domain NetDPSyn uses: each record is the concatenation of
+per-attribute one-hot blocks, and the generator emits per-block softmax
+distributions.  The temporal channel survives through the ``tsdiff``
+attribute included in the encoding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.domain import Domain
+
+
+class BlockOneHot:
+    """Bidirectional map between encoded int records and one-hot vectors."""
+
+    def __init__(self, domain: Domain) -> None:
+        self.sizes = [domain.size(a) for a in domain.names]
+        self.offsets = np.concatenate([[0], np.cumsum(self.sizes)[:-1]]).astype(np.int64)
+        self.total = int(sum(self.sizes))
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """(n, d) int codes -> (n, total) hard one-hot floats."""
+        data = np.asarray(data, dtype=np.int64)
+        n = data.shape[0]
+        out = np.zeros((n, self.total))
+        cols = data + self.offsets[None, :]
+        out[np.arange(n)[:, None], cols] = 1.0
+        return out
+
+    def block_softmax(self, logits: np.ndarray) -> np.ndarray:
+        """Per-block softmax over generator logits."""
+        out = np.empty_like(logits)
+        for off, size in zip(self.offsets, self.sizes):
+            block = logits[:, off : off + size]
+            shifted = block - block.max(axis=1, keepdims=True)
+            exp = np.exp(shifted)
+            out[:, off : off + size] = exp / exp.sum(axis=1, keepdims=True)
+        return out
+
+    def block_softmax_backward(self, probs: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        """Jacobian-vector product of the per-block softmax."""
+        grad = np.empty_like(grad_out)
+        for off, size in zip(self.offsets, self.sizes):
+            p = probs[:, off : off + size]
+            g = grad_out[:, off : off + size]
+            inner = (g * p).sum(axis=1, keepdims=True)
+            grad[:, off : off + size] = p * (g - inner)
+        return grad
+
+    def sample(self, probs: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Draw integer codes per block from generator probabilities."""
+        n = probs.shape[0]
+        out = np.empty((n, len(self.sizes)), dtype=np.int32)
+        for j, (off, size) in enumerate(zip(self.offsets, self.sizes)):
+            p = np.clip(probs[:, off : off + size], 1e-12, None)
+            p /= p.sum(axis=1, keepdims=True)
+            cdf = np.cumsum(p, axis=1)
+            u = rng.random((n, 1))
+            out[:, j] = (u > cdf[:, :-1]).sum(axis=1) if size > 1 else 0
+        return out

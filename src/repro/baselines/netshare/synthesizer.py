@@ -1,0 +1,127 @@
+"""NetShare baseline synthesizer: "DP Pretrained-SAME" mode (paper §4.1).
+
+NetShare pre-trains the GAN on part of the data *without* DP and fine-tunes
+with DP-SGD on the remainder.  The noise multiplier is derived from the
+target epsilon by inverting the RDP accountant — at epsilon=2 and realistic
+step counts the required sigma is large, which is precisely the fidelity
+collapse the paper attributes to DP-SGD (§3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.base import BaselineSynthesizer, finalize_encoded_sample
+from repro.baselines.netshare.gan import NetShareGan
+from repro.baselines.netshare.representation import BlockOneHot
+from repro.binning.encoder import DatasetEncoder, EncoderConfig
+from repro.consistency.rules import build_default_rules
+from repro.data.table import TraceTable
+from repro.dp.accountant import eps_delta_to_rho, rho_to_eps
+from repro.dp.rdp import RdpAccountant
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class NetShareConfig:
+    """Knobs of the NetShare baseline.
+
+    The paper runs NetShare at epsilon in [24.24, 108]; we default to the
+    evaluation's common epsilon=2 so all methods face the same budget, and
+    Table 6/7 sweeps raise it.
+    """
+
+    epsilon: float = 2.0
+    delta: float = 1e-5
+    encoder: EncoderConfig = field(default_factory=EncoderConfig)
+    z_dim: int = 32
+    hidden: int = 64
+    batch_size: int = 48
+    pretrain_fraction: float = 0.5
+    pretrain_iterations: int = 150
+    finetune_iterations: int = 200
+    lr: float = 1e-3
+    clip_norm: float = 1.0
+
+
+class NetShareSynthesizer(BaselineSynthesizer):
+    """GAN-based baseline with DP-SGD fine-tuning."""
+
+    name = "netshare"
+
+    def __init__(
+        self,
+        config: NetShareConfig | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.config = config or NetShareConfig()
+        self._rng = ensure_rng(rng)
+        self.encoder: DatasetEncoder | None = None
+        self.gan: NetShareGan | None = None
+        self.noise_multiplier: float = 0.0
+        self.history: dict = {}
+        self._template = None
+        self._original_schema = None
+        self._rules: list = []
+        self._n = 1
+
+    def fit(self, table: TraceTable) -> "NetShareSynthesizer":
+        cfg = self.config
+        rng = self._rng
+        self._original_schema = table.schema
+        # Binning gets the standard 0.1 share of the zCDP budget (same
+        # preprocessing as every other method); the remaining 0.9·rho is
+        # converted back to an (epsilon', delta) target for DP-SGD.
+        rho_total = eps_delta_to_rho(cfg.epsilon, cfg.delta)
+        dpsgd_epsilon = rho_to_eps(0.9 * rho_total, cfg.delta)
+        self.encoder = DatasetEncoder(cfg.encoder).fit(table, rho=0.1 * rho_total, rng=rng)
+        encoded = self.encoder.encode(table)
+        self._template = encoded.replace_data(
+            np.empty((0, len(encoded.attrs)), dtype=np.int32)
+        )
+        self._n = encoded.n_records
+        blocks = BlockOneHot(encoded.domain)
+        onehot = blocks.encode(encoded.data)
+
+        split = int(len(onehot) * cfg.pretrain_fraction)
+        pre, fine = onehot[:split], onehot[split:]
+        self.gan = NetShareGan(
+            blocks, z_dim=cfg.z_dim, hidden=cfg.hidden, lr=cfg.lr, rng=rng
+        )
+        # Phase 1: public pretraining (the "Pretrained-SAME" trick).
+        self.history = self.gan.train(
+            pre, cfg.pretrain_iterations, cfg.batch_size, noise_multiplier=0.0
+        )
+        # Phase 2: DP fine-tuning, sigma inverted from the target epsilon.
+        sample_rate = min(cfg.batch_size / max(len(fine), 1), 1.0)
+        self.noise_multiplier = RdpAccountant.noise_multiplier_for(
+            dpsgd_epsilon, cfg.delta, sample_rate, cfg.finetune_iterations
+        )
+        fine_history = self.gan.train(
+            fine,
+            cfg.finetune_iterations,
+            cfg.batch_size,
+            noise_multiplier=self.noise_multiplier,
+            clip_norm=cfg.clip_norm,
+        )
+        for key, values in fine_history.items():
+            self.history.setdefault(key, []).extend(values)
+        self._rules = build_default_rules(self.encoder.schema)
+        return self
+
+    def sample(self, n: int | None = None) -> TraceTable:
+        if self.gan is None:
+            raise RuntimeError("fit() must be called before sample()")
+        n = n if n is not None else self._n
+        data = self.gan.sample_codes(n)
+        return finalize_encoded_sample(
+            data, self._template, self.encoder, self._original_schema, self._rng, self._rules
+        )
+
+    def spent_epsilon(self) -> float:
+        """Epsilon actually consumed by DP-SGD (for reporting)."""
+        if self.gan is None:
+            return 0.0
+        return self.gan.spent_epsilon(self.config.delta)

@@ -1,0 +1,5 @@
+"""PGM baseline: DP Bayesian-network synthesis (McKenna et al., per App. D)."""
+
+from repro.baselines.pgm.synthesizer import PgmConfig, PgmSynthesizer
+
+__all__ = ["PgmConfig", "PgmSynthesizer"]

@@ -1,0 +1,11 @@
+"""PrivMRF baseline: Markov-random-field synthesis with auto marginal selection."""
+
+from repro.baselines.privmrf.memory import MemoryAccountant, MemoryBudgetExceeded
+from repro.baselines.privmrf.synthesizer import PrivMrfConfig, PrivMrfSynthesizer
+
+__all__ = [
+    "MemoryAccountant",
+    "MemoryBudgetExceeded",
+    "PrivMrfConfig",
+    "PrivMrfSynthesizer",
+]

@@ -1,0 +1,25 @@
+"""Type- and frequency-dependent binning of network trace attributes (paper §3.2)."""
+
+from repro.binning.base import AttributeCodec, MergedCodec
+from repro.binning.categorical import CategoricalCodec
+from repro.binning.encoder import DatasetEncoder, EncodedDataset, EncoderConfig
+from repro.binning.frequency import aggregate_counts, merge_codec
+from repro.binning.ip import IpCodec
+from repro.binning.numeric import LogNumericCodec
+from repro.binning.port import PortCodec
+from repro.binning.timestamp import TimestampCodec
+
+__all__ = [
+    "AttributeCodec",
+    "CategoricalCodec",
+    "DatasetEncoder",
+    "EncodedDataset",
+    "EncoderConfig",
+    "IpCodec",
+    "LogNumericCodec",
+    "MergedCodec",
+    "PortCodec",
+    "TimestampCodec",
+    "aggregate_counts",
+    "merge_codec",
+]

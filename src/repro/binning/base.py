@@ -1,0 +1,146 @@
+"""Codec interface shared by all binning strategies.
+
+A codec maps raw attribute values to dense integer bin ids (``encode``) and
+samples concrete values back out of bins (``decode_bins``) — the paper's
+"uniformly sample a value within the bin" decoding step.  Codecs additionally
+expose:
+
+* ``coarse_keys`` — a grouping of bins used by frequency-dependent merging
+  (e.g. IPs group by /30 prefix, log bins group pairwise);
+* ``decode_group`` — uniform sampling over a *coherent* merged group
+  (e.g. any of the 4 addresses of a /30 block);
+* ``bin_bounds`` — numeric [lo, hi) interpretation of each bin, consumed by
+  the protocol-rule engine (e.g. ``byt >= pkt``).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class AttributeCodec(abc.ABC):
+    """Maps one attribute between raw values and integer bin ids."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    @property
+    @abc.abstractmethod
+    def domain_size(self) -> int:
+        """Number of bins."""
+
+    @abc.abstractmethod
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Map raw values to bin ids in ``range(domain_size)``."""
+
+    @abc.abstractmethod
+    def decode_bins(self, codes: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Sample one raw value per bin id."""
+
+    def coarse_keys(self) -> np.ndarray:
+        """Group key per bin for frequency-dependent merging.
+
+        The default puts every bin in its own group (no structural
+        coarsening); subclasses override with domain knowledge.
+        """
+        return np.arange(self.domain_size, dtype=np.int64)
+
+    def decode_group(
+        self,
+        group_key: int,
+        members: np.ndarray,
+        size: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray | None:
+        """Sample ``size`` values uniformly from a coherent merged group.
+
+        Returns ``None`` when the codec has no group-level semantics, in
+        which case the caller falls back to weighted member sampling.
+        """
+        return None
+
+    def bin_bounds(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """Per-bin numeric [lo, hi) bounds, or ``None`` for non-numeric bins."""
+        return None
+
+
+class MergedCodec(AttributeCodec):
+    """A codec whose bins are unions of a base codec's bins.
+
+    Produced by frequency-dependent binning: base bins with small noisy
+    counts are merged — first into their structural groups (``coarse_keys``),
+    then any remainder into a single rare bin.  Decoding samples a member
+    base bin proportionally to its (clipped) noisy count, or delegates to
+    ``decode_group`` when all members share one structural group.
+    """
+
+    def __init__(
+        self,
+        base: AttributeCodec,
+        base_to_merged: np.ndarray,
+        member_lists: list[np.ndarray],
+        member_weights: list[np.ndarray],
+        group_keys: list,
+    ) -> None:
+        super().__init__(base.name)
+        if len(base_to_merged) != base.domain_size:
+            raise ValueError("base_to_merged must cover the base domain")
+        if len(member_lists) != len(member_weights) or len(member_lists) != len(group_keys):
+            raise ValueError("per-bin metadata lists must align")
+        self.base = base
+        self.base_to_merged = np.asarray(base_to_merged, dtype=np.int64)
+        self.member_lists = [np.asarray(m, dtype=np.int64) for m in member_lists]
+        self.member_weights = [np.asarray(w, dtype=np.float64) for w in member_weights]
+        self.group_keys = list(group_keys)
+
+    @property
+    def domain_size(self) -> int:
+        return len(self.member_lists)
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        base_codes = self.base.encode(values)
+        return self.base_to_merged[base_codes].astype(np.int32)
+
+    def decode_bins(self, codes: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        codes = np.asarray(codes)
+        out = None
+        for code in np.unique(codes):
+            idx = np.nonzero(codes == code)[0]
+            values = self._decode_one_bin(int(code), len(idx), rng)
+            if out is None:
+                out = np.empty(len(codes), dtype=np.asarray(values).dtype)
+            out[idx] = values
+        if out is None:
+            # Empty input: decode a probe value to learn the dtype.
+            probe = self._decode_one_bin(0, 1, rng) if self.domain_size else np.empty(0)
+            out = np.empty(0, dtype=np.asarray(probe).dtype)
+        return out
+
+    def _decode_one_bin(self, code: int, size: int, rng: np.random.Generator) -> np.ndarray:
+        members = self.member_lists[code]
+        if len(members) == 1:
+            return self.base.decode_bins(np.full(size, members[0]), rng)
+        group_key = self.group_keys[code]
+        if group_key is not None:
+            values = self.base.decode_group(group_key, members, size, rng)
+            if values is not None:
+                return values
+        weights = np.clip(self.member_weights[code], 0.0, None) + 1e-9
+        weights = weights / weights.sum()
+        chosen = rng.choice(members, size=size, p=weights)
+        return self.base.decode_bins(chosen, rng)
+
+    def coarse_keys(self) -> np.ndarray:
+        # Merged bins are terminal: no further structural coarsening.
+        return np.arange(self.domain_size, dtype=np.int64)
+
+    def bin_bounds(self) -> tuple[np.ndarray, np.ndarray] | None:
+        base_bounds = self.base.bin_bounds()
+        if base_bounds is None:
+            return None
+        base_lo, base_hi = base_bounds
+        lo = np.array([base_lo[m].min() for m in self.member_lists])
+        hi = np.array([base_hi[m].max() for m in self.member_lists])
+        return lo, hi

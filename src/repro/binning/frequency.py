@@ -1,0 +1,106 @@
+"""Frequency-dependent binning (paper §3.2, second round).
+
+After type-dependent binning, bins whose *noisy* counts fall below a
+threshold are aggregated — first into their structural groups (the codec's
+``coarse_keys``: /30 prefixes for IPs, wider port ranges, doubled log bins),
+then any groups still below threshold into a single rare bin.  Because the
+decision is taken on Gaussian-noised counts, the merge itself leaks nothing
+beyond the 0.1·rho spent publishing those counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.binning.base import AttributeCodec, MergedCodec
+
+
+def merge_codec(
+    base: AttributeCodec,
+    noisy_counts: np.ndarray,
+    threshold: float,
+    min_bins: int = 1,
+) -> MergedCodec:
+    """Merge low-count bins of ``base`` under the noisy ``noisy_counts``.
+
+    Parameters
+    ----------
+    base:
+        The type-dependent codec whose bins are being merged.
+    noisy_counts:
+        Noisy 1-way marginal over the base bins (length ``base.domain_size``).
+    threshold:
+        Bins with noisy count below this are merged; typically a small
+        multiple of the Gaussian noise scale.
+    min_bins:
+        Guard: never merge below this many bins (the label attribute must
+        keep its categories even when some are rare).
+    """
+    counts = np.asarray(noisy_counts, dtype=np.float64)
+    if len(counts) != base.domain_size:
+        raise ValueError("noisy_counts length must equal the base domain size")
+    n = base.domain_size
+    keys = base.coarse_keys()
+
+    keep = counts >= threshold
+    if keep.sum() < min_bins:
+        # Keep the largest min_bins bins regardless of threshold.
+        order = np.argsort(counts)[::-1]
+        keep = np.zeros(n, dtype=bool)
+        keep[order[:min_bins]] = True
+
+    base_to_merged = np.full(n, -1, dtype=np.int64)
+    member_lists: list[np.ndarray] = []
+    member_weights: list[np.ndarray] = []
+    group_keys: list = []
+
+    # 1. Kept bins stay singletons.
+    for b in np.nonzero(keep)[0]:
+        base_to_merged[b] = len(member_lists)
+        member_lists.append(np.array([b]))
+        member_weights.append(np.array([max(counts[b], 0.0)]))
+        group_keys.append(None)
+
+    # 2. Low bins aggregate by structural group.  A group key is recorded
+    # (enabling whole-range decode, e.g. any address of a /30 block) only
+    # when *every* base bin of that group was merged — otherwise decoding
+    # over the full range would leak mass into bins kept as singletons.
+    low = np.nonzero(~keep)[0]
+    leftovers: list[int] = []
+    if len(low):
+        low_keys = keys[low]
+        for key in np.unique(low_keys):
+            members = low[low_keys == key]
+            group_total = counts[members].sum()
+            if group_total >= threshold and len(members) > 1:
+                complete = int((keys == key).sum()) == len(members)
+                base_to_merged[members] = len(member_lists)
+                member_lists.append(members)
+                member_weights.append(np.clip(counts[members], 0.0, None))
+                group_keys.append(key if complete else None)
+            else:
+                leftovers.extend(members.tolist())
+
+    # 3. Whatever remains becomes one rare bin (incoherent: member sampling).
+    if leftovers:
+        members = np.array(sorted(leftovers))
+        base_to_merged[members] = len(member_lists)
+        member_lists.append(members)
+        member_weights.append(np.clip(counts[members], 0.0, None))
+        group_keys.append(None)
+
+    if (base_to_merged < 0).any():
+        raise AssertionError("unassigned base bins after merging")
+    return MergedCodec(base, base_to_merged, member_lists, member_weights, group_keys)
+
+
+def aggregate_counts(merged: MergedCodec, base_counts: np.ndarray) -> np.ndarray:
+    """Re-aggregate per-base-bin counts onto the merged bins.
+
+    Used to reuse the already-published noisy 1-way marginals after
+    frequency merging without spending more budget (post-processing).
+    """
+    base_counts = np.asarray(base_counts, dtype=np.float64)
+    out = np.zeros(merged.domain_size)
+    np.add.at(out, merged.base_to_merged, base_counts)
+    return out

@@ -1,0 +1,98 @@
+"""Port codec (paper §3.2, type 2).
+
+Ports below ``common_max`` (default 1024, the well-known range) each get
+their own bin — the paper "keeps a list of common ports under 1024 away from
+the binning process".  Higher ports are binned by ``bin_width`` (default 10).
+Frequency merging later coarsens low-count bins by a wider grouping
+(``coarse_width``, default 640 ports) before falling back to a rare bin.
+Decoding never produces a port ``>= 65536`` — the paper's validity rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.binning.base import AttributeCodec
+
+MAX_PORT = 65536
+
+
+class PortCodec(AttributeCodec):
+    """Hybrid singleton/width binning of transport-layer ports."""
+
+    def __init__(
+        self,
+        name: str,
+        common_max: int = 1024,
+        bin_width: int = 10,
+        coarse_width: int = 640,
+    ) -> None:
+        super().__init__(name)
+        if not 0 < common_max < MAX_PORT:
+            raise ValueError(f"common_max out of range: {common_max}")
+        if bin_width < 1:
+            raise ValueError(f"bin_width must be >= 1: {bin_width}")
+        if coarse_width < bin_width or coarse_width % bin_width:
+            raise ValueError("coarse_width must be a multiple of bin_width")
+        self.common_max = common_max
+        self.bin_width = bin_width
+        self.coarse_width = coarse_width
+        self._high_bins = -(-(MAX_PORT - common_max) // bin_width)  # ceil div
+
+    @property
+    def domain_size(self) -> int:
+        return self.common_max + self._high_bins
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.int64)
+        if (values < 0).any() or (values >= MAX_PORT).any():
+            raise ValueError(f"port out of range while encoding {self.name!r}")
+        high = self.common_max + (values - self.common_max) // self.bin_width
+        return np.where(values < self.common_max, values, high).astype(np.int32)
+
+    def _bin_range(self, code: int) -> tuple[int, int]:
+        """[lo, hi) port range of one bin."""
+        if code < self.common_max:
+            return code, code + 1
+        start = self.common_max + (code - self.common_max) * self.bin_width
+        return start, min(start + self.bin_width, MAX_PORT)
+
+    def decode_bins(self, codes: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        codes = np.asarray(codes, dtype=np.int64)
+        out = np.empty(len(codes), dtype=np.int64)
+        singleton = codes < self.common_max
+        out[singleton] = codes[singleton]
+        high = ~singleton
+        if high.any():
+            starts = self.common_max + (codes[high] - self.common_max) * self.bin_width
+            widths = np.minimum(starts + self.bin_width, MAX_PORT) - starts
+            out[high] = starts + (rng.random(high.sum()) * widths).astype(np.int64)
+        return out
+
+    def coarse_keys(self) -> np.ndarray:
+        keys = np.empty(self.domain_size, dtype=np.int64)
+        # Well-known ports keep singleton groups (negative key space).
+        keys[: self.common_max] = -1 - np.arange(self.common_max)
+        # Group high bins by index so group ranges align exactly with bin
+        # boundaries (a group covers coarse_width/bin_width whole bins).
+        bins_per_group = self.coarse_width // self.bin_width
+        keys[self.common_max :] = np.arange(self._high_bins) // bins_per_group
+        return keys
+
+    def decode_group(self, group_key, members, size, rng) -> np.ndarray | None:
+        if group_key < 0:  # singleton well-known port
+            port = -(group_key + 1)
+            return np.full(size, port, dtype=np.int64)
+        lo = self.common_max + int(group_key) * self.coarse_width
+        hi = min(lo + self.coarse_width, MAX_PORT)
+        return rng.integers(lo, hi, size=size, dtype=np.int64)
+
+    def bin_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        los = np.empty(self.domain_size)
+        his = np.empty(self.domain_size)
+        los[: self.common_max] = np.arange(self.common_max)
+        his[: self.common_max] = np.arange(self.common_max) + 1
+        starts = self.common_max + np.arange(self._high_bins) * self.bin_width
+        los[self.common_max :] = starts
+        his[self.common_max :] = np.minimum(starts + self.bin_width, MAX_PORT)
+        return los, his

@@ -1,0 +1,27 @@
+"""Post-processing of noisy marginals: projection, consistency, protocol rules."""
+
+from repro.consistency.engine import make_consistent, postprocess_marginals
+from repro.consistency.projection import norm_sub, project_simplex_counts
+from repro.consistency.rules import (
+    ComparisonRule,
+    ImplicationRule,
+    Rule,
+    build_default_rules,
+)
+from repro.consistency.weighted_average import (
+    attribute_consistency,
+    overall_total_consistency,
+)
+
+__all__ = [
+    "ComparisonRule",
+    "ImplicationRule",
+    "Rule",
+    "attribute_consistency",
+    "build_default_rules",
+    "make_consistent",
+    "norm_sub",
+    "overall_total_consistency",
+    "postprocess_marginals",
+    "project_simplex_counts",
+]

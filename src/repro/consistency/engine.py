@@ -1,0 +1,65 @@
+"""Post-processing driver: projection + consistency + protocol rules.
+
+Implements line 8 of Algorithm 1: "make noisy marginals consistent on the
+sum of cell values, shared attributes, and protocol rules".  All operations
+here are post-processing of already-published marginals — no privacy budget
+is consumed.
+"""
+
+from __future__ import annotations
+
+from repro.consistency.projection import norm_sub
+from repro.consistency.weighted_average import (
+    attribute_consistency,
+    overall_total_consistency,
+)
+from repro.marginals.marginal import Marginal
+
+
+def make_consistent(marginals: list, rounds: int = 3) -> list:
+    """Iterate total- and attribute-consistency, ending non-negative.
+
+    Consistency corrections can reintroduce negative cells and vice versa, so
+    the two are alternated for ``rounds`` passes (PrivSyn does the same).
+    """
+    if not marginals:
+        return []
+    current = list(marginals)
+    for _ in range(max(rounds, 1)):
+        current = overall_total_consistency(current)
+        current = attribute_consistency(current)
+    # Final projection to valid distributions with a shared total.
+    consensus = current[0].total
+    projected = []
+    for m in current:
+        counts = norm_sub(m.counts, max(consensus, 0.0))
+        projected.append(Marginal(m.attrs, counts, rho=m.rho, sigma=m.sigma))
+    return projected
+
+
+def apply_rules(marginals: list, codecs: dict, rules: list) -> list:
+    """Apply every applicable protocol rule to every marginal."""
+    out = []
+    for m in marginals:
+        for rule in rules:
+            if rule.applies_to(m.attrs):
+                m = rule.apply(m, codecs)
+        out.append(m)
+    return out
+
+
+def postprocess_marginals(
+    marginals: list,
+    codecs: dict,
+    rules: list | None = None,
+    rounds: int = 3,
+) -> list:
+    """Full §3.3 post-processing: validity, consistency, protocol rules."""
+    rules = list(rules or [])
+    current = make_consistent(marginals, rounds=rounds)
+    if rules:
+        current = apply_rules(current, codecs, rules)
+        # Rules preserve totals but consistency across marginals may drift;
+        # one cheap reconciliation pass keeps the GUM targets coherent.
+        current = make_consistent(current, rounds=1)
+    return current

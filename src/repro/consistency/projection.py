@@ -1,0 +1,64 @@
+"""Projection of noisy marginals onto the valid-distribution polytope.
+
+The first post-processing step of §3.3: no negative counts, and the counts
+sum to a fixed total.  We use PrivSyn's *norm-sub* operator: shift every cell
+by a common offset ``s`` and clip at zero, where ``s`` solves
+``sum(max(v + s, 0)) = target``.  Norm-sub preserves the relative order of
+cells and concentrates the correction on the (noise-dominated) small cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def norm_sub(values: np.ndarray, target: float) -> np.ndarray:
+    """Project ``values`` to the set ``{x >= 0, sum(x) = target}`` via norm-sub.
+
+    Finds the unique shift ``s`` with ``sum(max(values + s, 0)) == target``
+    by scanning the sorted breakpoints (exact, O(n log n)).
+    """
+    if target < 0:
+        raise ValueError(f"target must be >= 0, got {target}")
+    flat = np.asarray(values, dtype=np.float64).reshape(-1)
+    if flat.size == 0:
+        return np.zeros_like(values, dtype=np.float64)
+    if target == 0:
+        return np.zeros_like(values, dtype=np.float64)
+
+    desc = np.sort(flat)[::-1]
+    prefix = np.cumsum(desc)
+    k = np.arange(1, flat.size + 1)
+    # Keeping the top-k entries positive requires s = (target - prefix_k) / k;
+    # the configuration is valid when desc[k-1] + s > 0 and (k == n or
+    # desc[k] + s <= 0).
+    shifts = (target - prefix) / k
+    positive_ok = desc + shifts > 1e-15
+    boundary_ok = np.empty(flat.size, dtype=bool)
+    boundary_ok[:-1] = desc[1:] + shifts[:-1] <= 1e-12
+    boundary_ok[-1] = True
+    valid = np.nonzero(positive_ok & boundary_ok)[0]
+    if len(valid) == 0:
+        # Degenerate (all mass forced onto the max cell).
+        out = np.zeros_like(flat)
+        out[int(np.argmax(flat))] = target
+        return out.reshape(np.asarray(values).shape)
+    s = shifts[valid[0]]
+    projected = np.clip(flat + s, 0.0, None)
+    # Wash out any residual float drift so the sum is exact.
+    total = projected.sum()
+    if total > 0:
+        projected *= target / total
+    return projected.reshape(np.asarray(values).shape)
+
+
+def project_simplex_counts(values: np.ndarray) -> np.ndarray:
+    """Norm-sub onto the polytope that keeps the clipped-positive total.
+
+    Convenience for callers that only need validity (non-negativity) and want
+    to preserve the marginal's own plausible total: the target is the sum of
+    the positive part (a noisy marginal's best total estimate after clipping).
+    """
+    flat = np.asarray(values, dtype=np.float64)
+    target = float(np.clip(flat, 0.0, None).sum())
+    return norm_sub(flat, target)

@@ -1,0 +1,171 @@
+"""Protocol-rule edits on published marginals (paper §3.3, third step).
+
+Network headers obey semantic constraints the noise does not know about:
+a flow's byte count is at least its packet count, FTP control traffic is
+(almost always) TCP, ports are < 65536.  Rules rewrite marginal cells after
+publication — pure post-processing, no extra budget.
+
+The paper's footnote 1 observes real traces *violate* some rules (UDP "FTP"
+packets in UGR16), so rules are soft: :class:`ImplicationRule` caps the
+violating probability mass at a threshold ``tau`` instead of zeroing it.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.consistency.projection import norm_sub
+from repro.marginals.marginal import Marginal
+
+
+class Rule(abc.ABC):
+    """A marginal-rewrite rule."""
+
+    @abc.abstractmethod
+    def applies_to(self, attrs: tuple) -> bool:
+        """Whether this rule can act on a marginal over ``attrs``."""
+
+    @abc.abstractmethod
+    def apply(self, marginal: Marginal, codecs: dict) -> Marginal:
+        """Return a rewritten copy of ``marginal``."""
+
+
+@dataclass
+class ComparisonRule(Rule):
+    """Hard order constraint between two numeric attributes (e.g. byt >= pkt).
+
+    Cells whose bin bounds make the constraint impossible (every value of
+    ``left`` below every value of ``right``) are zeroed; the removed mass is
+    redistributed by norm-sub so the marginal total is preserved.
+    """
+
+    left: str
+    right: str
+    op: str = ">="
+
+    def __post_init__(self) -> None:
+        if self.op not in (">=", "<="):
+            raise ValueError(f"unsupported op: {self.op}")
+
+    def applies_to(self, attrs: tuple) -> bool:
+        return self.left in attrs and self.right in attrs
+
+    def apply(self, marginal: Marginal, codecs: dict) -> Marginal:
+        left_bounds = codecs[self.left].bin_bounds()
+        right_bounds = codecs[self.right].bin_bounds()
+        if left_bounds is None or right_bounds is None:
+            return marginal.copy()
+        llo, lhi = left_bounds
+        rlo, rhi = right_bounds
+        li = marginal.attrs.index(self.left)
+        ri = marginal.attrs.index(self.right)
+        # Violation mask over the (left, right) plane.
+        if self.op == ">=":
+            violate_2d = lhi[:, None] <= rlo[None, :]  # every left < every right
+        else:
+            violate_2d = llo[:, None] >= rhi[None, :]
+        # Broadcast to the marginal's full shape.
+        shape_l = [1] * marginal.counts.ndim
+        shape_l[li] = marginal.shape[li]
+        shape_r = [1] * marginal.counts.ndim
+        shape_r[ri] = marginal.shape[ri]
+        mask = np.zeros(marginal.shape, dtype=bool)
+        left_idx = np.arange(marginal.shape[li]).reshape(shape_l)
+        right_idx = np.arange(marginal.shape[ri]).reshape(shape_r)
+        mask |= violate_2d[left_idx, right_idx]
+        total = max(marginal.total, 0.0)
+        counts = marginal.counts.copy()
+        counts[mask] = 0.0
+        if total > 0 and (~mask).any():
+            # Redistribute the removed mass over the feasible cells only.
+            counts[~mask] = norm_sub(counts[~mask], total)
+        return Marginal(marginal.attrs, counts, rho=marginal.rho, sigma=marginal.sigma)
+
+
+@dataclass
+class ImplicationRule(Rule):
+    """Soft implication: cond_attr ∈ cond_values ⇒ then_attr ∈ allowed_values.
+
+    Within each marginal slice matching the condition, the probability mass
+    of disallowed ``then_attr`` values is capped at ``tau`` of the slice mass
+    (paper footnote 1); excess moves to the allowed values proportionally.
+    ``max_bin_span`` guards against applying a value-level condition to a
+    coarse merged bin that covers far more than the condition values.
+    """
+
+    cond_attr: str
+    cond_values: tuple
+    then_attr: str
+    allowed_values: tuple
+    tau: float = 0.1
+    max_bin_span: float = 10.0
+
+    def applies_to(self, attrs: tuple) -> bool:
+        return self.cond_attr in attrs and self.then_attr in attrs
+
+    def _condition_bins(self, codecs: dict) -> np.ndarray:
+        codec = codecs[self.cond_attr]
+        bins = np.unique(codec.encode(np.asarray(self.cond_values)))
+        bounds = codec.bin_bounds()
+        if bounds is None:
+            return bins
+        lo, hi = bounds
+        keep = [b for b in bins if (hi[b] - lo[b]) <= self.max_bin_span]
+        return np.asarray(keep, dtype=np.int64)
+
+    def apply(self, marginal: Marginal, codecs: dict) -> Marginal:
+        cond_bins = self._condition_bins(codecs)
+        if len(cond_bins) == 0:
+            return marginal.copy()
+        then_codec = codecs[self.then_attr]
+        allowed = np.unique(then_codec.encode(np.asarray(self.allowed_values, dtype=object)))
+        ci = marginal.attrs.index(self.cond_attr)
+        ti = marginal.attrs.index(self.then_attr)
+        counts = marginal.counts.copy()
+        # Work on a view with cond axis first, then_attr second.
+        moved = np.moveaxis(counts, (ci, ti), (0, 1))
+        allowed_mask = np.zeros(moved.shape[1], dtype=bool)
+        allowed_mask[allowed] = True
+        for b in cond_bins:
+            slice_ = moved[b]  # shape (then_size, rest...)
+            slice_total = slice_.sum()
+            if slice_total <= 0:
+                continue
+            bad = slice_[~allowed_mask]
+            bad_mass = bad.sum()
+            cap = self.tau * slice_total
+            if bad_mass <= cap:
+                continue
+            scale = cap / bad_mass
+            removed = bad_mass - cap
+            slice_[~allowed_mask] *= scale
+            good_mass = slice_[allowed_mask].sum()
+            if good_mass > 0:
+                slice_[allowed_mask] *= 1.0 + removed / good_mass
+            else:
+                slice_[allowed_mask] = removed / max(allowed_mask.sum(), 1)
+        return Marginal(marginal.attrs, counts, rho=marginal.rho, sigma=marginal.sigma)
+
+
+def build_default_rules(schema, tau: float = 0.1) -> list:
+    """Derive the paper's protocol rules from a trace schema."""
+    rules: list[Rule] = []
+    names = set(schema.names)
+    if {"pkt", "byt"} <= names:
+        rules.append(ComparisonRule("byt", "pkt", ">="))
+    if {"proto", "dstport"} <= names:
+        spec = schema["proto"]
+        if spec.categories and "TCP" in spec.categories:
+            rules.append(
+                ImplicationRule(
+                    cond_attr="dstport",
+                    cond_values=(20, 21),
+                    then_attr="proto",
+                    allowed_values=("TCP",),
+                    tau=tau,
+                )
+            )
+    return rules

@@ -1,0 +1,93 @@
+"""Cross-marginal consistency via the weighted-average method (paper §3.3).
+
+When an attribute ``f`` appears in several published marginals, their
+projections onto ``f`` disagree because each carries independent noise.  The
+minimum-variance reconciliation (Qardaji et al., cited by the paper) averages
+the projections with weights inversely proportional to their variances, then
+spreads each marginal's correction evenly over the cells that collapse onto
+the same ``f`` value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.marginals.marginal import Marginal
+
+
+def _projection_weight(marginal: Marginal, attr: str) -> float:
+    """Inverse variance of the marginal's projection onto ``attr``.
+
+    Projecting sums ``c / size_f`` cells, each with variance ``sigma^2``;
+    exact marginals get a huge (but finite, for arithmetic ease) weight.
+    """
+    size_f = marginal.shape[marginal.attrs.index(attr)]
+    cells_per_slice = marginal.n_cells / size_f
+    if marginal.sigma is None or marginal.sigma == 0:
+        return 1e12
+    return 1.0 / (cells_per_slice * marginal.sigma**2)
+
+
+def overall_total_consistency(marginals: list) -> list:
+    """Make every marginal agree on the total count.
+
+    The consensus total is the inverse-variance weighted average of the
+    individual totals; each marginal is corrected by an even per-cell shift.
+    """
+    if not marginals:
+        return []
+    weights = []
+    for m in marginals:
+        if m.sigma is None or m.sigma == 0:
+            weights.append(1e12)
+        else:
+            weights.append(1.0 / (m.n_cells * m.sigma**2))
+    weights = np.asarray(weights)
+    totals = np.array([m.total for m in marginals])
+    consensus = float((weights * totals).sum() / weights.sum())
+    out = []
+    for m in marginals:
+        shift = (consensus - m.total) / m.n_cells
+        out.append(Marginal(m.attrs, m.counts + shift, rho=m.rho, sigma=m.sigma))
+    return out
+
+
+def attribute_consistency(marginals: list, attrs=None) -> list:
+    """Reconcile marginals sharing attributes onto common 1-way projections.
+
+    Parameters
+    ----------
+    marginals:
+        Published marginals (modified copies are returned).
+    attrs:
+        Attributes to reconcile; defaults to every attribute appearing in
+        two or more marginals.
+    """
+    marginals = [m.copy() for m in marginals]
+    if attrs is None:
+        seen: dict[str, int] = {}
+        for m in marginals:
+            for a in m.attrs:
+                seen[a] = seen.get(a, 0) + 1
+        attrs = [a for a, count in seen.items() if count >= 2]
+
+    for attr in attrs:
+        holders = [m for m in marginals if attr in m.attrs]
+        if len(holders) < 2:
+            continue
+        weights = np.array([_projection_weight(m, attr) for m in holders])
+        projections = [m.project((attr,)).counts for m in holders]
+        target = np.zeros_like(projections[0])
+        for w, p in zip(weights, projections):
+            target += w * p
+        target /= weights.sum()
+        for m, p in zip(holders, projections):
+            axis = m.attrs.index(attr)
+            diff = target - p
+            cells_per_slice = m.n_cells / m.shape[axis]
+            correction = diff / cells_per_slice
+            # Broadcast the per-value correction along the attr axis.
+            shape = [1] * m.counts.ndim
+            shape[axis] = m.shape[axis]
+            m.counts += correction.reshape(shape)
+    return marginals

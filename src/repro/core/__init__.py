@@ -1,0 +1,7 @@
+"""The NetDPSyn synthesizer: the paper's primary contribution."""
+
+from repro.core.config import SynthesisConfig
+from repro.core.synthesizer import NetDPSyn, synthesize
+from repro.core.user_level import UserLevelNetDPSyn
+
+__all__ = ["NetDPSyn", "SynthesisConfig", "UserLevelNetDPSyn", "synthesize"]

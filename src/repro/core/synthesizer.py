@@ -1,0 +1,216 @@
+"""NetDPSyn: end-to-end DP trace synthesis (paper Algorithm 1).
+
+The pipeline:
+
+1.  type-dependent binning of every attribute;
+2.  tsdiff auxiliary attribute;
+3.  noisy 1-way marginals (Gaussian mechanism, 0.1·rho);
+4.  frequency-dependent binning on the noisy counts;
+5.  2-way marginal selection via noisy InDif + DenseMarg (0.1·rho);
+6.  combination of small overlapping marginals;
+7.  publication of the combined marginals (Gaussian mechanism, 0.8·rho);
+8.  consistency post-processing + protocol rules;
+9.  GUMMI record synthesis;
+10. in-bin decoding;
+11. timestamp reconstruction from tsdiff.
+
+Everything after step 7 is post-processing: the released trace satisfies the
+same ``(epsilon, delta)``-DP as the published marginals (zCDP composition,
+tracked by the :class:`~repro.dp.accountant.BudgetLedger`).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.binning.encoder import TSDIFF, DatasetEncoder, EncodedDataset
+from repro.consistency.engine import postprocess_marginals
+from repro.consistency.rules import build_default_rules
+from repro.core.config import SynthesisConfig
+from repro.data.schema import FieldKind
+from repro.data.table import TraceTable
+from repro.dp.accountant import BudgetLedger
+from repro.dp.allocation import split_budget
+from repro.marginals.combine import combine_attr_sets, cover_all_attributes
+from repro.marginals.indif import noisy_indif_scores
+from repro.marginals.publish import publish_marginals
+from repro.marginals.selection import select_pairs
+from repro.synthesis.decode import decode_records
+from repro.synthesis.gum import run_gum
+from repro.synthesis.initialization import (
+    marginal_initialization,
+    random_initialization,
+)
+from repro.synthesis.timestamps import reconstruct_timestamps
+from repro.utils.rng import ensure_rng
+
+
+class NetDPSyn:
+    """Differentially private network-trace synthesizer.
+
+    Example
+    -------
+    >>> from repro.datasets import load_dataset
+    >>> from repro.core import NetDPSyn, SynthesisConfig
+    >>> table = load_dataset("ton", n_records=2000, seed=1)
+    >>> synth = NetDPSyn(SynthesisConfig(epsilon=2.0), rng=7)
+    >>> synthetic = synth.fit(table).sample()
+    >>> synthetic.schema.names == table.schema.names
+    True
+    """
+
+    def __init__(
+        self,
+        config: SynthesisConfig | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.config = config or SynthesisConfig()
+        self._rng = ensure_rng(rng)
+        self.ledger: BudgetLedger | None = None
+        self.encoder: DatasetEncoder | None = None
+        self.selection = None
+        self.published: list = []
+        self.gum_result = None
+        self._template: EncodedDataset | None = None
+        self._original_schema = None
+        self._key_attr: str | None = None
+
+    # -------------------------------------------------------------------- fit
+    def fit(self, table: TraceTable) -> "NetDPSyn":
+        """Run the private phases (steps 1-8) on the raw trace."""
+        cfg = self.config
+        rng = self._rng
+        self._original_schema = table.schema
+        self.ledger = BudgetLedger.from_eps_delta(cfg.epsilon, cfg.delta)
+        stages = split_budget(self.ledger.total, cfg.stage_split)
+
+        # Steps 1-4: binning (type-dependent, tsdiff, noisy 1-ways, merging).
+        rho_bin = self.ledger.spend(stages["binning"], "frequency-dependent binning")
+        self.encoder = DatasetEncoder(cfg.encoder).fit(table, rho_bin, rng)
+        encoded = self.encoder.encode(table)
+        self._template = encoded.replace_data(np.empty((0, len(encoded.attrs)), dtype=np.int32))
+
+        # Step 5: marginal selection via noisy InDif.
+        rho_sel = self.ledger.spend(stages["selection"], "marginal selection")
+        pairs = list(combinations(encoded.attrs, 2))
+        indif = noisy_indif_scores(encoded, rho_sel, rng, pairs=pairs)
+        cells = {p: encoded.domain.cells(p) for p in pairs}
+        self.selection = select_pairs(
+            indif, cells, stages["publish"], max_pairs=cfg.max_pairs
+        )
+
+        # Step 6: combine small overlapping marginals; cover every attribute.
+        attr_sets = combine_attr_sets(
+            self.selection.pairs, encoded.domain, max_cells=cfg.max_combined_cells
+        )
+        attr_sets = cover_all_attributes(attr_sets, encoded.domain)
+
+        # Step 7: publish.
+        rho_pub = self.ledger.spend(stages["publish"], "marginal publication")
+        raw_published = publish_marginals(
+            encoded, attr_sets, rho_pub, rng, weighted=cfg.weighted_allocation
+        )
+
+        # Step 8: post-processing (free).
+        rules = cfg.rules if cfg.rules is not None else build_default_rules(
+            self.encoder.schema, tau=cfg.tau
+        )
+        self._rules = rules
+        self.published = postprocess_marginals(
+            raw_published, self.encoder.codecs, rules, rounds=cfg.consistency_rounds
+        )
+        self._key_attr = self._resolve_key_attr()
+        return self
+
+    def _resolve_key_attr(self) -> str:
+        """The GUMMI anchor: configured key, else the label, else a category."""
+        if self.config.key_attr is not None:
+            return self.config.key_attr
+        schema = self.encoder.schema
+        label = schema.label_field
+        if label is not None:
+            return label.name
+        for spec in schema:
+            if spec.kind is FieldKind.CATEGORICAL:
+                return spec.name
+        return schema.names[0]
+
+    # ----------------------------------------------------------------- sample
+    def sample(
+        self, n: int | None = None, rng: np.random.Generator | int | None = None
+    ) -> TraceTable:
+        """Generate a synthetic trace (steps 9-11); pure post-processing."""
+        if self.encoder is None or self._template is None:
+            raise RuntimeError("fit() must be called before sample()")
+        cfg = self.config
+        rng = self._rng if rng is None else ensure_rng(rng)
+        if n is None:
+            # The noisy consensus total is the DP estimate of the record count.
+            n = max(int(round(self.published[0].total)), 1)
+
+        attrs = self._template.attrs
+        domain = self._template.domain
+        one_way = {
+            a: self._project_one_way(a) for a in attrs
+        }
+        if cfg.initialization == "gummi":
+            data = marginal_initialization(
+                self.published,
+                one_way,
+                attrs,
+                domain,
+                n,
+                key_attr=self._key_attr,
+                n_init=cfg.n_init_marginals,
+                rng=rng,
+            )
+        else:
+            data = random_initialization(one_way, attrs, n, rng)
+
+        self.gum_result = run_gum(data, self.published, attrs, domain, cfg.gum, rng)
+        encoded_syn = self._template.replace_data(self.gum_result.data)
+        table = decode_records(encoded_syn, self.encoder, rng, rules=self._rules)
+
+        if TSDIFF in table.schema:
+            tsdiff_codes = encoded_syn.column(TSDIFF)
+            table = reconstruct_timestamps(
+                table,
+                tsdiff_codes=tsdiff_codes,
+                tsdiff_codec=self.encoder.codecs[TSDIFF],
+                rng=rng,
+            )
+        return self._restore_schema(table)
+
+    def _project_one_way(self, attr: str) -> np.ndarray:
+        """1-way counts for ``attr`` from the smallest published marginal."""
+        holders = [m for m in self.published if attr in m.attrs]
+        if not holders:
+            raise RuntimeError(f"no published marginal covers {attr!r}")
+        smallest = min(holders, key=lambda m: m.n_cells)
+        return smallest.project((attr,)).counts
+
+    def _restore_schema(self, table: TraceTable) -> TraceTable:
+        """Return the table under the original schema/column order."""
+        columns = {name: table.column(name) for name in self._original_schema.names}
+        return TraceTable(self._original_schema, columns)
+
+    # ------------------------------------------------------------ convenience
+    def synthesize(self, table: TraceTable, n: int | None = None) -> TraceTable:
+        """One-shot ``fit`` + ``sample``."""
+        return self.fit(table).sample(n)
+
+
+def synthesize(
+    table: TraceTable,
+    epsilon: float = 2.0,
+    delta: float = 1e-5,
+    rng: np.random.Generator | int | None = None,
+    config: SynthesisConfig | None = None,
+    n: int | None = None,
+) -> TraceTable:
+    """Functional one-shot API: synthesize a DP trace from ``table``."""
+    if config is None:
+        config = SynthesisConfig(epsilon=epsilon, delta=delta)
+    return NetDPSyn(config, rng=rng).synthesize(table, n=n)

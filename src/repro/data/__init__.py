@@ -1,0 +1,16 @@
+"""Tabular data model for network traces (flows and packets)."""
+
+from repro.data.domain import Domain
+from repro.data.io import read_csv, write_csv
+from repro.data.schema import FieldKind, FieldSpec, Schema
+from repro.data.table import TraceTable
+
+__all__ = [
+    "Domain",
+    "FieldKind",
+    "FieldSpec",
+    "Schema",
+    "TraceTable",
+    "read_csv",
+    "write_csv",
+]

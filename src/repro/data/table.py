@@ -1,0 +1,182 @@
+"""TraceTable: a numpy column-store for network traces.
+
+A :class:`TraceTable` couples a :class:`~repro.data.schema.Schema` with one
+numpy array per column.  It supports the handful of relational operations the
+pipeline needs (select, filter, sort, group-by) without pulling in pandas.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.data.schema import FieldKind, Schema
+
+
+class TraceTable:
+    """Immutable-ish columnar table of trace records.
+
+    Columns are stored as numpy arrays keyed by field name.  Mutating methods
+    return new tables; the underlying arrays are shared where safe.
+    """
+
+    def __init__(self, schema: Schema, columns: Mapping[str, np.ndarray]) -> None:
+        missing = [n for n in schema.names if n not in columns]
+        if missing:
+            raise ValueError(f"columns missing for fields: {missing}")
+        extra = [n for n in columns if n not in schema.names]
+        if extra:
+            raise ValueError(f"columns not in schema: {extra}")
+        lengths = {n: len(columns[n]) for n in schema.names}
+        if len(set(lengths.values())) > 1:
+            raise ValueError(f"ragged columns: {lengths}")
+        self.schema = schema
+        self._columns = {n: np.asarray(columns[n]) for n in schema.names}
+
+    # ------------------------------------------------------------------ basic
+    @property
+    def n_records(self) -> int:
+        """Number of records (rows)."""
+        if not self._columns:
+            return 0
+        return len(next(iter(self._columns.values())))
+
+    def __len__(self) -> int:
+        return self.n_records
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the column array for field ``name`` (shared, do not mutate)."""
+        return self._columns[name]
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.column(name)
+
+    def columns(self) -> dict:
+        """Shallow copy of the column mapping."""
+        return dict(self._columns)
+
+    # ------------------------------------------------------------- transforms
+    def with_column(self, name: str, values: np.ndarray, spec=None) -> "TraceTable":
+        """Return a new table with column ``name`` added or replaced.
+
+        When adding a new column, ``spec`` (a :class:`FieldSpec`) is required
+        so the schema stays authoritative.
+        """
+        values = np.asarray(values)
+        if len(values) != self.n_records:
+            raise ValueError(
+                f"column length {len(values)} != table length {self.n_records}"
+            )
+        if name in self.schema:
+            cols = dict(self._columns)
+            cols[name] = values
+            return TraceTable(self.schema, cols)
+        if spec is None:
+            raise ValueError(f"new column {name!r} requires a FieldSpec")
+        if spec.name != name:
+            raise ValueError(f"spec name {spec.name!r} != column name {name!r}")
+        schema = self.schema.with_field(spec)
+        cols = dict(self._columns)
+        cols[name] = values
+        return TraceTable(schema, cols)
+
+    def without_column(self, name: str) -> "TraceTable":
+        """Return a new table with column ``name`` dropped."""
+        schema = self.schema.without_field(name)
+        cols = {n: c for n, c in self._columns.items() if n != name}
+        return TraceTable(schema, cols)
+
+    def take(self, indices: np.ndarray) -> "TraceTable":
+        """Row subset/permutation by integer indices."""
+        indices = np.asarray(indices)
+        cols = {n: c[indices] for n, c in self._columns.items()}
+        return TraceTable(self.schema, cols)
+
+    def filter(self, mask: np.ndarray) -> "TraceTable":
+        """Row subset by boolean mask."""
+        mask = np.asarray(mask, dtype=bool)
+        if len(mask) != self.n_records:
+            raise ValueError("mask length mismatch")
+        return self.take(np.nonzero(mask)[0])
+
+    def head(self, n: int) -> "TraceTable":
+        """First ``n`` rows."""
+        return self.take(np.arange(min(n, self.n_records)))
+
+    def sort_by(self, *names: str) -> "TraceTable":
+        """Stable sort by one or more columns (last name is primary key)."""
+        if not names:
+            raise ValueError("sort_by requires at least one column")
+        order = np.lexsort(tuple(self._columns[n] for n in names))
+        return self.take(order)
+
+    def shuffle(self, rng: np.random.Generator) -> "TraceTable":
+        """Random row permutation."""
+        return self.take(rng.permutation(self.n_records))
+
+    def concat(self, other: "TraceTable") -> "TraceTable":
+        """Vertically stack two tables with identical schemas."""
+        if other.schema.names != self.schema.names:
+            raise ValueError("schema mismatch in concat")
+        cols = {
+            n: np.concatenate([self._columns[n], other._columns[n]])
+            for n in self.schema.names
+        }
+        return TraceTable(self.schema, cols)
+
+    # --------------------------------------------------------------- grouping
+    def group_ids(self, names: Iterable[str]) -> np.ndarray:
+        """Assign a dense integer group id to each row, keyed by ``names``.
+
+        Rows sharing the same value tuple over ``names`` get the same id.
+        Used to group records by flow identifier for tsdiff computation.
+        """
+        names = list(names)
+        if not names:
+            raise ValueError("group_ids requires at least one column")
+        # Densify each column to integer codes, then fold pairwise so the
+        # combined key never overflows int64 (codes stay < n after each fold).
+        ids = np.zeros(self.n_records, dtype=np.int64)
+        cardinality = 1
+        for name in names:
+            _, codes = np.unique(self._columns[name], return_inverse=True)
+            codes = codes.astype(np.int64)
+            _, ids = np.unique(ids * (codes.max() + 1) + codes, return_inverse=True)
+            ids = ids.astype(np.int64)
+        return ids
+
+    # ------------------------------------------------------------- conversion
+    def to_records(self) -> list[dict]:
+        """Materialize as a list of per-row dicts (small tables only)."""
+        names = self.schema.names
+        cols = [self._columns[n] for n in names]
+        return [
+            {n: col[i].item() if hasattr(col[i], "item") else col[i] for n, col in zip(names, cols)}
+            for i in range(self.n_records)
+        ]
+
+    def feature_matrix(self, exclude: Iterable[str] = ()) -> tuple:
+        """Return ``(X, names)`` — a float matrix of all non-excluded columns.
+
+        Categorical string columns are integer-coded by their schema category
+        order.  Used to feed the ML substrate.
+        """
+        exclude = set(exclude)
+        names = [n for n in self.schema.names if n not in exclude]
+        parts = []
+        for name in names:
+            spec = self.schema[name]
+            col = self._columns[name]
+            if spec.kind is FieldKind.CATEGORICAL and not np.issubdtype(
+                np.asarray(col).dtype, np.number
+            ):
+                lookup = {c: i for i, c in enumerate(spec.categories)}
+                col = np.array([lookup[v] for v in col], dtype=np.float64)
+            parts.append(np.asarray(col, dtype=np.float64))
+        if not parts:
+            return np.empty((self.n_records, 0)), []
+        return np.stack(parts, axis=1), names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceTable(kind={self.schema.kind!r}, n={self.n_records}, fields={list(self.schema.names)})"

@@ -1,0 +1,28 @@
+"""Synthetic stand-ins for the paper's five trace datasets.
+
+The originals (UGR16, CIDDS, TON, CAIDA, DC — NetShare's private copies) are
+not redistributable; these generators produce traces with the same field
+sets, label semantics, and the statistical structure each experiment relies
+on (heavy hitters, class-conditional attack signatures, per-flow packet
+streams).  See DESIGN.md §1 for the substitution rationale.
+"""
+
+from repro.datasets.base import TraceGenerator
+from repro.datasets.caida import CaidaGenerator
+from repro.datasets.cidds import CiddsGenerator
+from repro.datasets.dc import DataCenterGenerator
+from repro.datasets.registry import DATASET_INFO, get_generator, load_dataset
+from repro.datasets.ton import TonGenerator
+from repro.datasets.ugr16 import Ugr16Generator
+
+__all__ = [
+    "CaidaGenerator",
+    "CiddsGenerator",
+    "DATASET_INFO",
+    "DataCenterGenerator",
+    "TonGenerator",
+    "TraceGenerator",
+    "Ugr16Generator",
+    "get_generator",
+    "load_dataset",
+]

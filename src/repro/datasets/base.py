@@ -1,0 +1,146 @@
+"""Shared machinery for synthetic trace generators."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.data.schema import FieldKind, FieldSpec, Schema
+from repro.data.table import TraceTable
+
+#: Maximum transmission unit bounds used when deriving bytes from packets.
+MIN_PACKET_BYTES = 40
+MAX_PACKET_BYTES = 1514
+
+
+class TraceGenerator(abc.ABC):
+    """A parametric generator of one dataset family."""
+
+    #: Registry key and paper-reported statistics (Table 5).
+    name: str = ""
+    kind: str = "flow"
+    label_attr: str = "label"
+    paper_records: int = 0
+    paper_attributes: int = 0
+    paper_domain: float = 0.0
+
+    @abc.abstractmethod
+    def schema(self) -> Schema:
+        """The dataset's schema."""
+
+    @abc.abstractmethod
+    def generate(
+        self, n_records: int, rng: np.random.Generator | int | None = None
+    ) -> TraceTable:
+        """Generate ``n_records`` records deterministically from the seed."""
+
+
+# --------------------------------------------------------------------- helpers
+def zipf_probs(k: int, a: float = 1.1) -> np.ndarray:
+    """Zipf rank probabilities over ``k`` items with exponent ``a``."""
+    ranks = np.arange(1, k + 1, dtype=np.float64)
+    probs = ranks**-a
+    return probs / probs.sum()
+
+
+def make_ip_pool(
+    rng: np.random.Generator, size: int, subnets: list | None = None
+) -> np.ndarray:
+    """Pool of distinct integer IPv4 addresses drawn from a few subnets.
+
+    ``subnets`` is a list of ``(base_int, prefix_len)``; hosts are uniform
+    within each subnet.  Keeping the pool subnet-structured gives the /30
+    binning something real to aggregate.
+    """
+    if subnets is None:
+        subnets = [(ip_base(10, 0), 16), (ip_base(192, 168), 16), (ip_base(172, 16), 16)]
+    per = -(-size // len(subnets))
+    parts = []
+    for base, prefix in subnets:
+        host_bits = 32 - prefix
+        hosts = rng.integers(1, 1 << host_bits, size=per * 2, dtype=np.int64)
+        addrs = np.unique(base + hosts)[:per]
+        parts.append(addrs)
+    pool = np.unique(np.concatenate(parts))
+    rng.shuffle(pool)
+    if len(pool) < size:
+        # Top up with fully random public addresses.
+        extra = rng.integers(1 << 24, 1 << 31, size=size - len(pool), dtype=np.int64)
+        pool = np.unique(np.concatenate([pool, extra]))
+    return pool[:size]
+
+
+def ip_base(a: int, b: int = 0, c: int = 0, d: int = 0) -> int:
+    """Integer for the dotted quad ``a.b.c.d``."""
+    return (a << 24) | (b << 16) | (c << 8) | d
+
+
+def sample_zipf(
+    rng: np.random.Generator, pool: np.ndarray, size: int, a: float = 1.1
+) -> np.ndarray:
+    """Sample from ``pool`` with Zipf-ranked popularity (pool order = rank)."""
+    probs = zipf_probs(len(pool), a)
+    idx = rng.choice(len(pool), size=size, p=probs)
+    return pool[idx]
+
+
+def ephemeral_ports(rng: np.random.Generator, size: int) -> np.ndarray:
+    """Uniform ephemeral source ports."""
+    return rng.integers(1024, 65536, size=size, dtype=np.int64)
+
+
+def bytes_from_packets(
+    rng: np.random.Generator,
+    pkt: np.ndarray,
+    mean_size: float = 400.0,
+    sigma: float = 0.6,
+) -> np.ndarray:
+    """Derive byte counts from packet counts with lognormal per-packet sizes.
+
+    Guarantees the protocol invariant ``byt >= max(pkt, MIN_PACKET_BYTES·1)``
+    loosely — at least ``pkt`` bytes and at least the minimum header size per
+    flow.
+    """
+    pkt = np.asarray(pkt, dtype=np.float64)
+    per_packet = np.exp(rng.normal(np.log(mean_size), sigma, size=len(pkt)))
+    per_packet = np.clip(per_packet, MIN_PACKET_BYTES, MAX_PACKET_BYTES)
+    byt = np.round(pkt * per_packet).astype(np.int64)
+    return np.maximum(byt, np.maximum(pkt.astype(np.int64), MIN_PACKET_BYTES))
+
+
+def flow_field_specs(label_spec: FieldSpec, extra: list | None = None) -> tuple:
+    """The common flow-header fields ⟨5-tuple, ts, td, pkt, byt⟩ + label."""
+    fields = [
+        FieldSpec("srcip", FieldKind.IP),
+        FieldSpec("dstip", FieldKind.IP),
+        FieldSpec("srcport", FieldKind.PORT),
+        FieldSpec("dstport", FieldKind.PORT),
+        FieldSpec("proto", FieldKind.CATEGORICAL, categories=("TCP", "UDP", "ICMP")),
+        FieldSpec("ts", FieldKind.TIMESTAMP),
+        FieldSpec("td", FieldKind.NUMERIC, integral=False, unit_scale=1000.0),
+        FieldSpec("pkt", FieldKind.NUMERIC),
+        FieldSpec("byt", FieldKind.NUMERIC),
+    ]
+    fields.extend(extra or [])
+    fields.append(label_spec)
+    return tuple(fields)
+
+
+def build_table(schema: Schema, columns: dict, order: np.ndarray | None = None) -> TraceTable:
+    """Assemble a table, optionally applying a row permutation/sort."""
+    table = TraceTable(schema, columns)
+    if order is not None:
+        table = table.take(order)
+    return table
+
+
+def proto_for_port(rng: np.random.Generator, ports: np.ndarray) -> np.ndarray:
+    """Protocol consistent with well-known service ports (DNS/NTP → UDP)."""
+    udp_services = {53, 123, 161, 514}
+    out = np.where(
+        np.isin(ports, list(udp_services)),
+        "UDP",
+        np.where(rng.random(len(ports)) < 0.93, "TCP", "UDP"),
+    )
+    return out.astype(object)

@@ -1,0 +1,109 @@
+"""Shared machinery for packet-level generators (CAIDA, DC).
+
+Packets are emitted *per flow*: a set of 5-tuples with heavy-tailed sizes is
+drawn first, then each flow's packets are placed with exponential
+inter-arrival gaps.  This gives the per-flow structure that NetML (flows
+with >= 2 packets), the FS attribute metric, and tsdiff all rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import FieldKind, FieldSpec, Schema
+
+PACKET_FLAGS = ("SYN", "ACK", "PSH", "FIN", "RST", "OTHER")
+FRAG = ("DF", "0", "MF")
+TOS = (0, 8, 16, 32)
+CHKSUM = ("ok", "bad")
+
+
+def packet_schema(link_categories: tuple) -> Schema:
+    """The common 15-attribute packet-header schema (paper Table 5)."""
+    fields = (
+        FieldSpec("srcip", FieldKind.IP),
+        FieldSpec("dstip", FieldKind.IP),
+        FieldSpec("srcport", FieldKind.PORT),
+        FieldSpec("dstport", FieldKind.PORT),
+        FieldSpec("proto", FieldKind.CATEGORICAL, categories=("TCP", "UDP", "ICMP")),
+        FieldSpec("ts", FieldKind.TIMESTAMP),
+        FieldSpec("pkt_len", FieldKind.NUMERIC),
+        FieldSpec("ttl", FieldKind.NUMERIC),
+        FieldSpec("tos", FieldKind.CATEGORICAL, categories=TOS),
+        FieldSpec("ip_id", FieldKind.NUMERIC),
+        FieldSpec("frag", FieldKind.CATEGORICAL, categories=FRAG),
+        FieldSpec("tcp_window", FieldKind.NUMERIC),
+        FieldSpec("chksum", FieldKind.CATEGORICAL, categories=CHKSUM),
+        FieldSpec("link", FieldKind.CATEGORICAL, categories=link_categories),
+        FieldSpec("flag", FieldKind.CATEGORICAL, categories=PACKET_FLAGS, is_label=True),
+    )
+    return Schema(fields=fields, kind="packet")
+
+
+def draw_flow_sizes(rng: np.random.Generator, n_packets: int, tail: float = 1.2) -> np.ndarray:
+    """Heavy-tailed flow sizes whose sum is exactly ``n_packets``."""
+    sizes = []
+    remaining = n_packets
+    while remaining > 0:
+        batch = 1 + (rng.pareto(tail, size=max(remaining // 2, 64)) * 1.5).astype(np.int64)
+        sizes.append(batch)
+        remaining -= int(batch.sum())
+    sizes = np.concatenate(sizes)
+    cum = np.cumsum(sizes)
+    cut = int(np.searchsorted(cum, n_packets))
+    sizes = sizes[: cut + 1]
+    overshoot = int(sizes.sum()) - n_packets
+    sizes[-1] -= overshoot
+    if sizes[-1] <= 0:
+        sizes = sizes[:-1]
+        deficit = n_packets - int(sizes.sum())
+        if deficit > 0:
+            sizes = np.append(sizes, deficit)
+    return sizes
+
+
+def expand_flows(sizes: np.ndarray) -> tuple:
+    """Return ``(flow_idx, position)`` arrays expanding flows to packets."""
+    sizes = np.asarray(sizes, dtype=np.int64)
+    flow_idx = np.repeat(np.arange(len(sizes)), sizes)
+    starts = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+    position = np.arange(sizes.sum()) - np.repeat(starts, sizes)
+    return flow_idx, position
+
+
+def flow_timestamps(
+    rng: np.random.Generator,
+    sizes: np.ndarray,
+    flow_idx: np.ndarray,
+    position: np.ndarray,
+    start_times: np.ndarray,
+    mean_gap: float,
+) -> np.ndarray:
+    """Packet timestamps: flow start + cumulative exponential gaps."""
+    n = len(flow_idx)
+    gaps = rng.exponential(mean_gap, size=n)
+    gaps[position == 0] = 0.0
+    cum = np.cumsum(gaps)
+    starts_pkt = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+    cum_at_head = np.repeat(cum[starts_pkt], sizes)
+    return start_times[flow_idx] + (cum - cum_at_head)
+
+
+def tcp_flags_for_positions(
+    rng: np.random.Generator,
+    sizes: np.ndarray,
+    flow_idx: np.ndarray,
+    position: np.ndarray,
+    is_tcp: np.ndarray,
+) -> np.ndarray:
+    """Position-dependent TCP flags: SYN first, FIN/RST last, ACK/PSH middle."""
+    n = len(flow_idx)
+    flags = np.full(n, "OTHER", dtype=object)
+    last_pos = np.asarray(sizes, dtype=np.int64)[flow_idx] - 1
+    first = (position == 0) & is_tcp
+    last = (position == last_pos) & (position > 0) & is_tcp
+    middle = is_tcp & ~first & ~last
+    flags[first] = "SYN"
+    flags[last] = np.where(rng.random(int(last.sum())) < 0.85, "FIN", "RST")
+    flags[middle] = np.where(rng.random(int(middle.sum())) < 0.7, "ACK", "PSH")
+    return flags

@@ -1,0 +1,62 @@
+"""Dataset registry: name → generator, plus the paper's Table 5 metadata."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.table import TraceTable
+from repro.datasets.base import TraceGenerator
+from repro.datasets.caida import CaidaGenerator
+from repro.datasets.cidds import CiddsGenerator
+from repro.datasets.dc import DataCenterGenerator
+from repro.datasets.ton import TonGenerator
+from repro.datasets.ugr16 import Ugr16Generator
+
+_GENERATORS = {
+    "ton": TonGenerator,
+    "ugr16": Ugr16Generator,
+    "cidds": CiddsGenerator,
+    "caida": CaidaGenerator,
+    "dc": DataCenterGenerator,
+}
+
+#: Paper Table 5 reference rows (records, attributes, domain, label, type).
+DATASET_INFO = {
+    "ton": dict(records=295_497, attributes=11, domain=2e6, label="type", type="flow"),
+    "ugr16": dict(records=1_000_000, attributes=10, domain=4e6, label="type", type="flow"),
+    "cidds": dict(records=1_000_000, attributes=11, domain=6e6, label="type", type="flow"),
+    "caida": dict(records=1_000_000, attributes=15, domain=1e7, label="flag", type="packet"),
+    "dc": dict(records=1_000_000, attributes=15, domain=1e7, label="flag", type="packet"),
+}
+
+#: Default laptop-scale record counts (the paper uses 295k-1M; see DESIGN.md).
+DEFAULT_RECORDS = 10_000
+
+
+def get_generator(name: str, **kwargs) -> TraceGenerator:
+    """Instantiate the generator registered under ``name``."""
+    try:
+        cls = _GENERATORS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(_GENERATORS)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def load_dataset(
+    name: str,
+    n_records: int = DEFAULT_RECORDS,
+    seed: int | np.random.Generator | None = 0,
+    **kwargs,
+) -> TraceTable:
+    """Generate the named dataset deterministically.
+
+    Example
+    -------
+    >>> table = load_dataset("ton", n_records=1000, seed=42)
+    >>> len(table)
+    1000
+    """
+    generator = get_generator(name, **kwargs)
+    return generator.generate(n_records, rng=seed)

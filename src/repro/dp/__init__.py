@@ -1,0 +1,26 @@
+"""Differential-privacy primitives: zCDP accounting, mechanisms, allocation."""
+
+from repro.dp.accountant import (
+    BudgetLedger,
+    eps_delta_to_rho,
+    rho_to_eps,
+)
+from repro.dp.allocation import split_budget, weighted_marginal_budgets
+from repro.dp.mechanisms import (
+    gaussian_mechanism,
+    gaussian_sigma,
+    exponential_mechanism,
+)
+from repro.dp.rdp import RdpAccountant
+
+__all__ = [
+    "BudgetLedger",
+    "RdpAccountant",
+    "eps_delta_to_rho",
+    "exponential_mechanism",
+    "gaussian_mechanism",
+    "gaussian_sigma",
+    "rho_to_eps",
+    "split_budget",
+    "weighted_marginal_budgets",
+]

@@ -1,0 +1,96 @@
+"""Zero-concentrated differential privacy (zCDP) accounting.
+
+NetDPSyn (following PrivSyn) converts the user-facing ``(epsilon, delta)``
+budget into a zCDP budget ``rho`` (Bun & Steinke, TCC 2016), splits ``rho``
+across pipeline stages, and composes additively: the sum of the ``rho``
+values consumed by all Gaussian-mechanism invocations never exceeds the
+total.  :class:`BudgetLedger` enforces that invariant at runtime.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import check_positive
+
+
+def rho_to_eps(rho: float, delta: float) -> float:
+    """Convert a ``rho``-zCDP guarantee to ``(epsilon, delta)``-DP.
+
+    Uses the standard bound  ``eps = rho + 2 * sqrt(rho * log(1/delta))``
+    (Bun & Steinke, Proposition 1.3).
+    """
+    check_positive("rho", rho)
+    check_positive("delta", delta)
+    if delta >= 1:
+        raise ValueError(f"delta must be < 1, got {delta}")
+    return rho + 2.0 * math.sqrt(rho * math.log(1.0 / delta))
+
+
+def eps_delta_to_rho(epsilon: float, delta: float) -> float:
+    """Convert an ``(epsilon, delta)``-DP target to the largest safe zCDP ``rho``.
+
+    Inverts :func:`rho_to_eps` exactly: solving
+    ``rho + 2 sqrt(rho L) = eps`` with ``L = log(1/delta)`` for ``sqrt(rho)``
+    gives ``sqrt(rho) = sqrt(eps + L) - sqrt(L)``.
+    """
+    check_positive("epsilon", epsilon)
+    check_positive("delta", delta)
+    if delta >= 1:
+        raise ValueError(f"delta must be < 1, got {delta}")
+    log_inv_delta = math.log(1.0 / delta)
+    sqrt_rho = math.sqrt(epsilon + log_inv_delta) - math.sqrt(log_inv_delta)
+    return sqrt_rho * sqrt_rho
+
+
+class BudgetLedger:
+    """Tracks zCDP budget consumption across pipeline stages.
+
+    The ledger is created with a total ``rho``; components call
+    :meth:`spend` (which raises when overdrawn) and the synthesizer can
+    assert :attr:`remaining` is non-negative at the end — zCDP composes
+    additively, so this check *is* the privacy proof of the pipeline.
+    """
+
+    def __init__(self, rho: float) -> None:
+        check_positive("rho", rho)
+        self.total = float(rho)
+        self._spent = 0.0
+        self._entries: list[tuple[str, float]] = []
+
+    @classmethod
+    def from_eps_delta(cls, epsilon: float, delta: float) -> "BudgetLedger":
+        """Build a ledger holding the zCDP equivalent of ``(epsilon, delta)``."""
+        return cls(eps_delta_to_rho(epsilon, delta))
+
+    @property
+    def spent(self) -> float:
+        """Total ``rho`` consumed so far."""
+        return self._spent
+
+    @property
+    def remaining(self) -> float:
+        """Budget still available."""
+        return self.total - self._spent
+
+    def spend(self, rho: float, purpose: str = "") -> float:
+        """Consume ``rho`` from the ledger; raises if overdrawn.
+
+        A tiny tolerance absorbs floating-point drift from repeated splits.
+        """
+        check_positive("rho", rho)
+        if self._spent + rho > self.total * (1 + 1e-9) + 1e-12:
+            raise RuntimeError(
+                f"privacy budget exceeded: spent {self._spent:.6g} + {rho:.6g} "
+                f"> total {self.total:.6g} ({purpose})"
+            )
+        self._spent += rho
+        self._entries.append((purpose, rho))
+        return rho
+
+    def entries(self) -> list[tuple[str, float]]:
+        """Audit log of ``(purpose, rho)`` expenditures."""
+        return list(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BudgetLedger(total={self.total:.4g}, spent={self._spent:.4g})"

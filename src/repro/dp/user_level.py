@@ -1,0 +1,70 @@
+"""User-level DP via contribution bounding + group privacy (App. G future work).
+
+The paper's synthesis is record-level: one packet/flow is the protected
+unit, which "might not offer practical privacy guarantee" when one user
+emits thousands of packets.  The standard upgrade path, implemented here:
+
+1. **bound contributions** — keep at most ``k`` records per user (the user
+   key is typically ``srcip`` or the flow 5-tuple), sampled uniformly;
+2. **group privacy** — a mechanism that is ``rho``-zCDP for neighboring
+   datasets differing in one *record* is ``k^2 · rho``-zCDP for datasets
+   differing in one *user* once users contribute at most ``k`` records.
+
+So to honor a user-level budget ``rho_user``, run the record-level pipeline
+at ``rho_user / k^2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.table import TraceTable
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive
+
+
+def bound_user_contributions(
+    table: TraceTable,
+    user_key,
+    max_records: int,
+    rng: np.random.Generator | int | None = None,
+) -> TraceTable:
+    """Subsample so no user (group over ``user_key``) exceeds ``max_records``.
+
+    Sampling is uniform within each user's records, so the kept subset is
+    representative of that user's traffic mix.
+    """
+    if max_records < 1:
+        raise ValueError("max_records must be >= 1")
+    rng = ensure_rng(rng)
+    key = [user_key] if isinstance(user_key, str) else list(user_key)
+    groups = table.group_ids(key)
+    keep = np.zeros(table.n_records, dtype=bool)
+    order = rng.permutation(table.n_records)
+    taken = np.zeros(groups.max() + 1 if len(groups) else 0, dtype=np.int64)
+    for row in order:
+        g = groups[row]
+        if taken[g] < max_records:
+            taken[g] += 1
+            keep[row] = True
+    return table.filter(keep)
+
+
+def record_rho_for_user_level(rho_user: float, max_records: int) -> float:
+    """Record-level budget that yields ``rho_user``-zCDP at the user level.
+
+    zCDP group privacy: a ``rho``-zCDP mechanism is ``k^2 rho``-zCDP for
+    groups of ``k`` records, hence ``rho = rho_user / k^2``.
+    """
+    check_positive("rho_user", rho_user)
+    if max_records < 1:
+        raise ValueError("max_records must be >= 1")
+    return rho_user / (max_records * max_records)
+
+
+def user_level_rho(record_rho: float, max_records: int) -> float:
+    """The user-level guarantee implied by a record-level ``rho``."""
+    check_positive("record_rho", record_rho)
+    if max_records < 1:
+        raise ValueError("max_records must be >= 1")
+    return record_rho * max_records * max_records

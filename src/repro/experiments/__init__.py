@@ -1,0 +1,15 @@
+"""One module per paper table/figure, plus the shared experiment runner.
+
+Every module exposes a ``run(scale=...)`` function returning plain dicts of
+the same rows/series the paper reports.  Benchmarks (``benchmarks/``) and
+EXPERIMENTS.md are thin wrappers over this package.
+"""
+
+from repro.experiments.runner import (
+    ALL_METHODS,
+    ExperimentScale,
+    clear_cache,
+    synthesize_cached,
+)
+
+__all__ = ["ALL_METHODS", "ExperimentScale", "clear_cache", "synthesize_cached"]

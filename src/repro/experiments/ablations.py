@@ -1,0 +1,94 @@
+"""Design-choice ablations called out by DESIGN.md (§3 of the paper).
+
+Three NetDPSyn components are ablated on TON:
+
+* **allocation** — PrivSyn's weighted (rho_i ∝ c_i^{2/3}) vs uniform budget
+  split across published marginals, measured by mean categorical JSD;
+* **frequency binning** — the merge threshold (in noise sigmas) vs the
+  resulting domain size and port-distribution JSD;
+* **protocol rules** — the tau-capped FTP⇒TCP rule on vs off, measured by
+  the fraction of synthesized FTP flows carried over UDP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import NetDPSyn, SynthesisConfig
+from repro.experiments.runner import ExperimentScale, load_raw_cached
+from repro.metrics import jensen_shannon_divergence
+
+_JSD_COLUMNS = ("srcip", "dstip", "srcport", "dstport", "proto")
+
+
+def _mean_jsd(raw, synthetic, columns=_JSD_COLUMNS) -> float:
+    return float(
+        np.mean(
+            [
+                jensen_shannon_divergence(raw.column(c), synthetic.column(c))
+                for c in columns
+            ]
+        )
+    )
+
+
+def run_allocation(scale: ExperimentScale | None = None, dataset: str = "ton") -> dict:
+    """Weighted vs uniform marginal-budget allocation."""
+    scale = scale or ExperimentScale()
+    raw = load_raw_cached(dataset, scale)
+    out = {}
+    for name, weighted in (("weighted", True), ("uniform", False)):
+        config = SynthesisConfig(epsilon=scale.epsilon, weighted_allocation=weighted)
+        config.gum.iterations = scale.gum_iterations
+        synthetic = NetDPSyn(config, rng=scale.seed + 71).synthesize(raw)
+        out[name] = _mean_jsd(raw, synthetic)
+    return out
+
+
+def run_binning_threshold(
+    scale: ExperimentScale | None = None,
+    dataset: str = "ton",
+    thresholds: tuple = (0.0, 3.0, 8.0),
+) -> dict:
+    """Frequency-merge threshold vs domain size and port fidelity."""
+    scale = scale or ExperimentScale()
+    raw = load_raw_cached(dataset, scale)
+    out = {}
+    for sigmas in thresholds:
+        config = SynthesisConfig(epsilon=scale.epsilon)
+        config.encoder.freq_threshold_sigmas = float(sigmas)
+        config.gum.iterations = scale.gum_iterations
+        synthesizer = NetDPSyn(config, rng=scale.seed + 73)
+        synthetic = synthesizer.synthesize(raw)
+        domain_total = synthesizer.encoder.codecs["dstport"].domain_size
+        out[sigmas] = {
+            "dstport_bins": int(domain_total),
+            "dstport_jsd": float(
+                jensen_shannon_divergence(raw.column("dstport"), synthetic.column("dstport"))
+            ),
+        }
+    return out
+
+
+def run_protocol_rules(
+    scale: ExperimentScale | None = None, dataset: str = "ugr16"
+) -> dict:
+    """FTP⇒TCP rule on vs off: fraction of port-21 flows carried over UDP."""
+    scale = scale or ExperimentScale()
+    raw = load_raw_cached(dataset, scale)
+
+    def ftp_udp_fraction(table) -> float:
+        dstport = np.asarray(table.column("dstport"))
+        proto = np.asarray(table.column("proto"))
+        ftp = np.isin(dstport, (20, 21))
+        if not ftp.any():
+            return 0.0
+        return float(np.mean(proto[ftp] == "UDP"))
+
+    out = {"raw": ftp_udp_fraction(raw)}
+    for name, rules in (("rules_on", None), ("rules_off", [])):
+        config = SynthesisConfig(epsilon=scale.epsilon, rules=rules)
+        config.gum.iterations = scale.gum_iterations
+        synthetic = NetDPSyn(config, rng=scale.seed + 79).synthesize(raw)
+        out[name] = ftp_udp_fraction(synthetic)
+    return out

@@ -1,0 +1,161 @@
+"""Shared experiment machinery: synthesizer factory, scaling, result caching.
+
+The paper runs on 295k-1M-record traces on a 32-core/256 GB workstation;
+:class:`ExperimentScale` shrinks record counts and iteration budgets to
+laptop scale while preserving every comparison's structure.  Synthetic
+outputs are cached per ``(method, dataset, n, epsilon, seed)`` because many
+tables/figures share them (e.g. Fig. 3 and Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines import (
+    MemoryBudgetExceeded,
+    NetShareConfig,
+    NetShareSynthesizer,
+    PgmConfig,
+    PgmSynthesizer,
+    PrivMrfConfig,
+    PrivMrfSynthesizer,
+)
+from repro.core import NetDPSyn, SynthesisConfig
+from repro.data.table import TraceTable
+from repro.datasets import load_dataset
+from repro.utils.timer import Timer
+
+#: Synthesis methods in the paper's column order.
+ALL_METHODS = ("netdpsyn", "netshare", "pgm", "privmrf")
+
+
+@dataclass
+class ExperimentScale:
+    """Laptop-scale knobs; the paper-scale equivalents are in DESIGN.md."""
+
+    n_records: int = 6000
+    seed: int = 0
+    epsilon: float = 2.0
+    delta: float = 1e-5
+    gum_iterations: int = 25
+    netshare_pretrain: int = 100
+    netshare_finetune: int = 120
+    gibbs_sweeps: int = 4
+    privmrf_memory_bytes: int = 256 * 1024**3  # the paper's workstation (modeled)
+
+    def smaller(self, n_records: int | None = None) -> "ExperimentScale":
+        """A reduced copy for expensive sweeps (never above the original)."""
+
+        def halve(value: int, floor: int) -> int:
+            return min(value, max(value // 2, floor))
+
+        out = ExperimentScale(**self.__dict__)
+        if n_records is not None:
+            out.n_records = n_records
+        out.netshare_pretrain = halve(self.netshare_pretrain, 30)
+        out.netshare_finetune = halve(self.netshare_finetune, 40)
+        out.gum_iterations = halve(self.gum_iterations, 10)
+        return out
+
+
+def build_synthesizer(
+    method: str,
+    scale: ExperimentScale,
+    epsilon: float | None = None,
+    rng: np.random.Generator | int | None = None,
+):
+    """Instantiate one synthesizer at the given scale."""
+    eps = epsilon if epsilon is not None else scale.epsilon
+    method = method.lower()
+    if method == "netdpsyn":
+        config = SynthesisConfig(epsilon=eps, delta=scale.delta)
+        config.gum.iterations = scale.gum_iterations
+        return NetDPSyn(config, rng=rng)
+    if method == "netshare":
+        config = NetShareConfig(
+            epsilon=eps,
+            delta=scale.delta,
+            pretrain_iterations=scale.netshare_pretrain,
+            finetune_iterations=scale.netshare_finetune,
+        )
+        return NetShareSynthesizer(config, rng=rng)
+    if method == "pgm":
+        return PgmSynthesizer(PgmConfig(epsilon=eps, delta=scale.delta), rng=rng)
+    if method == "privmrf":
+        config = PrivMrfConfig(
+            epsilon=eps,
+            delta=scale.delta,
+            gibbs_sweeps=scale.gibbs_sweeps,
+            memory_budget_bytes=scale.privmrf_memory_bytes,
+        )
+        return PrivMrfSynthesizer(config, rng=rng)
+    raise KeyError(f"unknown method {method!r}; expected one of {ALL_METHODS}")
+
+
+_RAW_CACHE: dict = {}
+_SPLIT_CACHE: dict = {}
+_SYN_CACHE: dict = {}
+
+#: Fraction held out for testing (paper: 80/20 random split, §4.3).
+TEST_FRACTION = 0.2
+
+
+def load_raw_cached(dataset: str, scale: ExperimentScale) -> TraceTable:
+    """Deterministic raw trace, cached per (dataset, n, seed)."""
+    key = (dataset, scale.n_records, scale.seed)
+    if key not in _RAW_CACHE:
+        _RAW_CACHE[key] = load_dataset(dataset, n_records=scale.n_records, seed=scale.seed)
+    return _RAW_CACHE[key]
+
+
+def split_cached(dataset: str, scale: ExperimentScale) -> tuple:
+    """Deterministic (train_table, test_table) 80/20 split of the raw trace."""
+    key = (dataset, scale.n_records, scale.seed)
+    if key not in _SPLIT_CACHE:
+        raw = load_raw_cached(dataset, scale)
+        rng = np.random.default_rng(scale.seed + 17)
+        perm = rng.permutation(raw.n_records)
+        n_test = max(int(round(raw.n_records * TEST_FRACTION)), 1)
+        _SPLIT_CACHE[key] = (raw.take(perm[n_test:]), raw.take(perm[:n_test]))
+    return _SPLIT_CACHE[key]
+
+
+def synthesize_cached(
+    method: str,
+    dataset: str,
+    scale: ExperimentScale,
+    epsilon: float | None = None,
+    from_train: bool = False,
+) -> tuple:
+    """Synthesize (or fetch) a trace; returns ``(table_or_None, seconds)``.
+
+    ``None`` output means the method failed structurally (PrivMRF memory) —
+    rendered as the paper's "N/A".  ``from_train=True`` synthesizes from the
+    80% train split (so test records are never seen by the synthesizer).
+    """
+    eps = epsilon if epsilon is not None else scale.epsilon
+    key = (method, dataset, scale.n_records, scale.seed, eps, from_train)
+    if key in _SYN_CACHE:
+        return _SYN_CACHE[key]
+    if from_train:
+        raw, _ = split_cached(dataset, scale)
+    else:
+        raw = load_raw_cached(dataset, scale)
+    synthesizer = build_synthesizer(method, scale, epsilon=eps, rng=scale.seed + 1)
+    with Timer() as timer:
+        try:
+            synthetic = synthesizer.synthesize(raw, n=len(raw))
+        except MemoryBudgetExceeded:
+            synthetic = None
+    result = (synthetic, timer.elapsed)
+    _SYN_CACHE[key] = result
+    return result
+
+
+def clear_cache() -> None:
+    """Drop all cached raw and synthetic tables (tests use this)."""
+    _RAW_CACHE.clear()
+    _SPLIT_CACHE.clear()
+    _SYN_CACHE.clear()

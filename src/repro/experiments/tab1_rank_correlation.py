@@ -1,0 +1,42 @@
+"""Table 1: Spearman rank correlation of the model ranking, flow datasets.
+
+"Instead of always achieving high accuracy, it is more important that a
+classification model achieves similar accuracy on raw and synthesized
+datasets" — the five models are ranked by accuracy under raw vs synthetic
+training and the rankings' Spearman correlation is reported.  Higher is
+better; the paper reports NetDPSyn highest on all three flow datasets.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig3_classification
+from repro.experiments.runner import ALL_METHODS, ExperimentScale
+from repro.metrics import spearman_rank_correlation
+
+
+def from_fig3(fig3_results: dict, methods: tuple = ALL_METHODS) -> dict:
+    """Derive ``{dataset: {method: rho_or_None}}`` from Figure 3's output."""
+    table: dict = {}
+    for dataset, per_model in fig3_results.items():
+        models = list(per_model)
+        real = [per_model[m].get("real") for m in models]
+        row: dict = {}
+        for method in methods:
+            scores = [per_model[m].get(method) for m in models]
+            pairs = [
+                (r, s) for r, s in zip(real, scores) if r is not None and s is not None
+            ]
+            if len(pairs) < 2:
+                row[method] = None
+            else:
+                row[method] = spearman_rank_correlation(
+                    [p[0] for p in pairs], [p[1] for p in pairs]
+                )
+        table[dataset] = row
+    return table
+
+
+def run(scale: ExperimentScale | None = None, **kwargs) -> dict:
+    """Compute Fig. 3 then reduce it to the Table 1 rank correlations."""
+    results = fig3_classification.run(scale, **kwargs)
+    return from_fig3(results)

@@ -1,0 +1,43 @@
+"""Table 2: rank correlation of the NetML modes, packet datasets.
+
+The six feature modes are ranked by the anomaly ratio they produce on raw vs
+synthetic packets; Spearman's rho of those rankings is reported (higher is
+better).  Methods with no valid flows stay "N/A".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig4_netml
+from repro.experiments.runner import ExperimentScale
+from repro.metrics import spearman_rank_correlation
+
+
+def from_fig4(fig4_results: dict) -> dict:
+    """Derive ``{dataset: {method: rho_or_None}}`` from Figure 4's output."""
+    table: dict = {}
+    for dataset, payload in fig4_results.items():
+        raw_ratios = payload["_raw_ratio"]
+        syn_ratios = payload["_syn_ratio"]
+        row: dict = {}
+        for method, ratios in syn_ratios.items():
+            pairs = []
+            for mode, syn in ratios.items():
+                raw = raw_ratios.get(mode)
+                if raw is None or syn is None or np.isnan(raw) or np.isnan(syn):
+                    continue
+                pairs.append((raw, syn))
+            if len(pairs) < 2:
+                row[method] = None
+            else:
+                row[method] = spearman_rank_correlation(
+                    [p[0] for p in pairs], [p[1] for p in pairs]
+                )
+        table[dataset] = row
+    return table
+
+
+def run(scale: ExperimentScale | None = None, **kwargs) -> dict:
+    """Compute Fig. 4 then reduce it to the Table 2 rank correlations."""
+    return from_fig4(fig4_netml.run(scale, **kwargs))

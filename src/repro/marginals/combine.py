@@ -1,0 +1,75 @@
+"""Combining overlapping small marginals into multi-way tables (paper §3.3).
+
+DenseMarg merges selected 2-way marginals that share attributes when the
+combined table stays small: one k-way table carries strictly more correlation
+information than its 2-way projections at the same publication budget.  We
+greedily merge the pair of attribute sets with the smallest combined cell
+count until no merge fits under ``max_cells``.
+"""
+
+from __future__ import annotations
+
+from repro.data.domain import Domain
+
+
+def combine_attr_sets(pairs, domain: Domain, max_cells: int = 10_000) -> list:
+    """Merge overlapping attribute sets while the union stays under ``max_cells``.
+
+    Parameters
+    ----------
+    pairs:
+        Selected 2-way attribute pairs (tuples).
+    domain:
+        Encoded domain (for cell counts).
+    max_cells:
+        Upper bound on the cell count of a combined marginal.
+
+    Returns
+    -------
+    list of attribute tuples (each ordered by domain attribute order),
+    deduplicated, no set a subset of another.
+    """
+    sets = [frozenset(p) for p in pairs]
+    changed = True
+    while changed:
+        changed = False
+        best = None  # (cells, i, j)
+        for i in range(len(sets)):
+            for j in range(i + 1, len(sets)):
+                if not sets[i] & sets[j]:
+                    continue
+                union = sets[i] | sets[j]
+                cells = domain.cells(union)
+                if cells <= max_cells and (best is None or cells < best[0]):
+                    best = (cells, i, j)
+        if best is not None:
+            _, i, j = best
+            union = sets[i] | sets[j]
+            sets = [s for k, s in enumerate(sets) if k not in (i, j)]
+            sets.append(union)
+            changed = True
+
+    # Drop subsets and duplicates.
+    unique: list = []
+    for s in sorted(set(sets), key=len, reverse=True):
+        if not any(s < u for u in unique):
+            unique.append(s)
+
+    order = {name: k for k, name in enumerate(domain.names)}
+    return [tuple(sorted(s, key=order.__getitem__)) for s in unique]
+
+
+def cover_all_attributes(attr_sets: list, domain: Domain) -> list:
+    """Append 1-way marginals for attributes not covered by any set.
+
+    Every attribute must appear in at least one published marginal or the
+    synthesizer would have no signal for it.
+    """
+    covered = set()
+    for s in attr_sets:
+        covered.update(s)
+    out = list(attr_sets)
+    for name in domain.names:
+        if name not in covered:
+            out.append((name,))
+    return out

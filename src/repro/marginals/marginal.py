@@ -1,0 +1,103 @@
+"""The Marginal object: a (possibly noisy) contingency table over attributes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class Marginal:
+    """A contingency table over an ordered attribute tuple.
+
+    Parameters
+    ----------
+    attrs:
+        Attribute names, one per axis of ``counts``.
+    counts:
+        Cell counts, shape = per-attribute domain sizes.  Noisy marginals may
+        hold negative/fractional values until post-processed.
+    rho:
+        zCDP budget spent publishing this marginal (``None`` = exact).
+    sigma:
+        Gaussian noise scale used at publication (``None`` = exact); the
+        weighted-average consistency step weights marginals by ``1/sigma^2``.
+    """
+
+    attrs: tuple
+    counts: np.ndarray
+    rho: float | None = None
+    sigma: float | None = None
+
+    def __post_init__(self) -> None:
+        self.attrs = tuple(self.attrs)
+        self.counts = np.asarray(self.counts, dtype=np.float64)
+        if self.counts.ndim != len(self.attrs):
+            raise ValueError(
+                f"counts ndim {self.counts.ndim} != number of attrs {len(self.attrs)}"
+            )
+
+    # ------------------------------------------------------------- properties
+    @property
+    def shape(self) -> tuple:
+        return self.counts.shape
+
+    @property
+    def n_cells(self) -> int:
+        return int(self.counts.size)
+
+    @property
+    def total(self) -> float:
+        return float(self.counts.sum())
+
+    @property
+    def is_noisy(self) -> bool:
+        return self.rho is not None
+
+    # ------------------------------------------------------------- operations
+    def flat(self) -> np.ndarray:
+        """1-D view of the counts (shared memory)."""
+        return self.counts.reshape(-1)
+
+    def normalized(self) -> np.ndarray:
+        """Counts rescaled to a probability table (requires positive total)."""
+        total = self.total
+        if total <= 0:
+            raise ValueError("cannot normalize a marginal with non-positive total")
+        return self.counts / total
+
+    def project(self, attrs) -> "Marginal":
+        """Marginalize out all attributes not in ``attrs`` (order preserved)."""
+        attrs = tuple(attrs)
+        missing = [a for a in attrs if a not in self.attrs]
+        if missing:
+            raise KeyError(f"attributes not in marginal: {missing}")
+        keep_axes = [self.attrs.index(a) for a in attrs]
+        drop_axes = tuple(i for i in range(len(self.attrs)) if i not in keep_axes)
+        counts = self.counts.sum(axis=drop_axes) if drop_axes else self.counts
+        # Reorder the kept axes to match the requested order.
+        current = [a for a in self.attrs if a in attrs]
+        perm = [current.index(a) for a in attrs]
+        counts = np.transpose(counts, perm)
+        return Marginal(attrs, counts.copy(), rho=self.rho, sigma=self.sigma)
+
+    def scale_to(self, total: float) -> "Marginal":
+        """Rescale counts to the given total (used to match record counts)."""
+        current = self.total
+        if current <= 0:
+            raise ValueError("cannot rescale a marginal with non-positive total")
+        return Marginal(self.attrs, self.counts * (total / current), rho=self.rho, sigma=self.sigma)
+
+    def copy(self) -> "Marginal":
+        return Marginal(self.attrs, self.counts.copy(), rho=self.rho, sigma=self.sigma)
+
+    def l1_distance(self, other: "Marginal") -> float:
+        """Total-variation style L1 distance between two aligned marginals."""
+        if other.attrs != self.attrs or other.shape != self.shape:
+            raise ValueError("marginals are not aligned")
+        return float(np.abs(self.counts - other.counts).sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = "noisy" if self.is_noisy else "exact"
+        return f"Marginal({'x'.join(self.attrs)}, cells={self.n_cells}, {tag})"

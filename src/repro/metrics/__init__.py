@@ -1,0 +1,19 @@
+"""Fidelity metrics used across the evaluation."""
+
+from repro.metrics.distribution import (
+    earth_movers_distance,
+    jensen_shannon_divergence,
+    normalize_emds,
+    total_variation,
+)
+from repro.metrics.error import relative_error
+from repro.metrics.ranking import spearman_rank_correlation
+
+__all__ = [
+    "earth_movers_distance",
+    "jensen_shannon_divergence",
+    "normalize_emds",
+    "relative_error",
+    "spearman_rank_correlation",
+    "total_variation",
+]

@@ -1,0 +1,84 @@
+"""Distributional distances: JSD for categorical, EMD for continuous (App. E)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _align_categorical(a, b) -> tuple:
+    """Relative-frequency vectors of two samples over their joint support."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    support = np.unique(np.concatenate([a, b]))
+    index = {v: i for i, v in enumerate(support)}
+    pa = np.zeros(len(support))
+    pb = np.zeros(len(support))
+    va, ca = np.unique(a, return_counts=True)
+    vb, cb = np.unique(b, return_counts=True)
+    for v, c in zip(va, ca):
+        pa[index[v]] = c
+    for v, c in zip(vb, cb):
+        pb[index[v]] = c
+    pa = pa / pa.sum() if pa.sum() else pa
+    pb = pb / pb.sum() if pb.sum() else pb
+    return pa, pb
+
+
+def jensen_shannon_divergence(a, b, base: float = 2.0) -> float:
+    """JSD between the empirical distributions of two categorical samples.
+
+    Bounded in [0, 1] for base 2; the paper's SA/DA/SP/DP/PR metrics rank
+    values by frequency and compare the resulting distributions.
+    """
+    pa, pb = _align_categorical(a, b)
+    m = (pa + pb) / 2.0
+
+    def _kl(p, q):
+        mask = p > 0
+        return float(np.sum(p[mask] * (np.log(p[mask] / q[mask]) / np.log(base))))
+
+    return 0.5 * _kl(pa, m) + 0.5 * _kl(pb, m)
+
+
+def earth_movers_distance(a, b) -> float:
+    """1-D Wasserstein-1 distance between two continuous samples.
+
+    Computed from the quantile-function representation (exact for point
+    masses): the mean absolute difference of matched order statistics of the
+    merged grid.
+    """
+    a = np.sort(np.asarray(a, dtype=np.float64))
+    b = np.sort(np.asarray(b, dtype=np.float64))
+    if len(a) == 0 or len(b) == 0:
+        raise ValueError("EMD requires non-empty samples")
+    grid = np.concatenate([a, b])
+    grid.sort()
+    deltas = np.diff(grid)
+    if len(deltas) == 0:
+        return 0.0
+    cdf_a = np.searchsorted(a, grid[:-1], side="right") / len(a)
+    cdf_b = np.searchsorted(b, grid[:-1], side="right") / len(b)
+    return float(np.sum(np.abs(cdf_a - cdf_b) * deltas))
+
+
+def total_variation(a, b) -> float:
+    """Total-variation distance between two categorical samples."""
+    pa, pb = _align_categorical(a, b)
+    return 0.5 * float(np.abs(pa - pb).sum())
+
+
+def normalize_emds(emds: dict, lo: float = 0.1, hi: float = 0.9) -> dict:
+    """The paper's figure normalization: map raw EMDs to [0.1, 0.9].
+
+    "Because different attributes have vastly different EMD ranges, we
+    normalize the EMDs to [0.1, 0.9] for better figure readability."
+    Normalization is per-attribute across methods.
+    """
+    if not emds:
+        return {}
+    values = np.array(list(emds.values()), dtype=np.float64)
+    vmin, vmax = values.min(), values.max()
+    if vmax - vmin < 1e-12:
+        return {k: (lo + hi) / 2.0 for k in emds}
+    scaled = lo + (values - vmin) * (hi - lo) / (vmax - vmin)
+    return {k: float(s) for k, s in zip(emds, scaled)}

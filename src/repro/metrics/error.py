@@ -1,0 +1,27 @@
+"""Relative-error helpers (paper Figures 2 and 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def relative_error(synthetic: float, raw: float, eps: float = 1e-12) -> float:
+    """The paper's relative error ``|x_syn - x_raw| / |x_raw|``.
+
+    Used both for sketch heavy-hitter errors (Fig. 2, where x is the sketch
+    estimation error itself) and NetML anomaly ratios (Fig. 4).  A tiny
+    ``eps`` guards division when the raw quantity is zero.
+    """
+    raw = float(raw)
+    synthetic = float(synthetic)
+    return abs(synthetic - raw) / max(abs(raw), eps)
+
+
+def mean_relative_error(synthetic, raw, eps: float = 1e-12) -> float:
+    """Mean of element-wise relative errors over paired arrays."""
+    synthetic = np.asarray(synthetic, dtype=np.float64)
+    raw = np.asarray(raw, dtype=np.float64)
+    if synthetic.shape != raw.shape:
+        raise ValueError("arrays must be aligned")
+    denom = np.maximum(np.abs(raw), eps)
+    return float(np.mean(np.abs(synthetic - raw) / denom))

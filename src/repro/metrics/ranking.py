@@ -1,0 +1,41 @@
+"""Rank correlation (paper Tables 1 and 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _ranks(values: np.ndarray) -> np.ndarray:
+    """Average ranks (ties share the mean rank), 1-based."""
+    values = np.asarray(values, dtype=np.float64)
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(len(values), dtype=np.float64)
+    ranks[order] = np.arange(1, len(values) + 1)
+    # Average ties.
+    for v in np.unique(values):
+        mask = values == v
+        if mask.sum() > 1:
+            ranks[mask] = ranks[mask].mean()
+    return ranks
+
+
+def spearman_rank_correlation(a, b) -> float:
+    """Spearman's rho between two paired score lists.
+
+    The paper ranks the five classifiers by accuracy on raw vs synthetic
+    data and reports the correlation of those rankings.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if len(a) != len(b):
+        raise ValueError("paired samples must have equal length")
+    if len(a) < 2:
+        raise ValueError("need at least two pairs")
+    ra = _ranks(a)
+    rb = _ranks(b)
+    ra -= ra.mean()
+    rb -= rb.mean()
+    denom = np.sqrt((ra**2).sum() * (rb**2).sum())
+    if denom == 0:
+        return 0.0
+    return float((ra * rb).sum() / denom)

@@ -1,0 +1,34 @@
+"""From-scratch ML models for the downstream-task evaluation (paper §4.3).
+
+The paper trains five classifiers (DT, LR, RF, GB, MLP) on raw and synthetic
+flows, and a one-class SVM for packet anomaly detection.  scikit-learn is not
+available offline, so the standard algorithms are implemented here on numpy.
+"""
+
+from repro.ml.base import train_test_split
+from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.logistic import LogisticRegressionClassifier
+from repro.ml.metrics import accuracy_score, confusion_matrix
+from repro.ml.mlp import MlpClassifier
+from repro.ml.model_zoo import PAPER_MODELS, build_classifier
+from repro.ml.ocsvm import OneClassSVM
+from repro.ml.preprocessing import LabelEncoder, StandardScaler
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "GradientBoostingClassifier",
+    "LabelEncoder",
+    "LogisticRegressionClassifier",
+    "MlpClassifier",
+    "OneClassSVM",
+    "PAPER_MODELS",
+    "RandomForestClassifier",
+    "StandardScaler",
+    "accuracy_score",
+    "build_classifier",
+    "confusion_matrix",
+    "train_test_split",
+]

@@ -1,0 +1,63 @@
+"""Shared estimator plumbing and data splitting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+class Classifier:
+    """Base classifier: integer-label fit/predict contract.
+
+    Subclasses implement ``_fit(X, y)`` (labels already encoded to
+    ``0..K-1``) and ``predict_proba``.
+    """
+
+    def __init__(self) -> None:
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Classifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        self._fit(X, encoded.astype(np.int64))
+        return self
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        probs = self.predict_proba(np.asarray(X, dtype=np.float64))
+        return self.classes_[np.argmax(probs, axis=1)]
+
+    @property
+    def n_classes(self) -> int:
+        if self.classes_ is None:
+            raise RuntimeError("classifier is not fitted")
+        return len(self.classes_)
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_size: float = 0.2,
+    rng: np.random.Generator | int | None = None,
+):
+    """Random 80/20-style split (the paper splits randomly, footnote 3)."""
+    rng = ensure_rng(rng)
+    X = np.asarray(X)
+    y = np.asarray(y)
+    n = len(X)
+    if len(y) != n:
+        raise ValueError("X and y must align")
+    if not 0 < test_size < 1:
+        raise ValueError("test_size must be in (0, 1)")
+    perm = rng.permutation(n)
+    n_test = max(int(round(n * test_size)), 1)
+    test_idx = perm[:n_test]
+    train_idx = perm[n_test:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]

@@ -1,0 +1,83 @@
+"""Gradient boosting with softmax loss (multiclass, regression-tree base)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Classifier
+from repro.ml.tree import DecisionTreeRegressor
+from repro.utils.rng import ensure_rng
+
+
+def _softmax(scores: np.ndarray) -> np.ndarray:
+    shifted = scores - scores.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class GradientBoostingClassifier(Classifier):
+    """One shallow regression tree per class per round on softmax residuals."""
+
+    def __init__(
+        self,
+        n_estimators: int = 25,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 5,
+        subsample: float = 1.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        if not 0 < subsample <= 1:
+            raise ValueError("subsample must be in (0, 1]")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self.rng = ensure_rng(rng)
+        self.stages_: list = []
+        self._base_scores: np.ndarray | None = None
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        n = len(X)
+        k = int(y.max()) + 1 if n else 1
+        onehot = np.zeros((n, k))
+        onehot[np.arange(n), y] = 1.0
+        # Log-prior initialization stabilizes the first rounds.
+        prior = np.clip(onehot.mean(axis=0), 1e-6, None)
+        self._base_scores = np.log(prior)
+        scores = np.tile(self._base_scores, (n, 1))
+
+        self.stages_ = []
+        for _ in range(self.n_estimators):
+            probs = _softmax(scores)
+            residual = onehot - probs
+            stage = []
+            if self.subsample < 1.0:
+                m = max(int(self.subsample * n), 1)
+                idx = self.rng.choice(n, size=m, replace=False)
+            else:
+                idx = np.arange(n)
+            for c in range(k):
+                tree = DecisionTreeRegressor(
+                    max_depth=self.max_depth,
+                    min_samples_leaf=self.min_samples_leaf,
+                    rng=self.rng,
+                )
+                tree.fit(X[idx], residual[idx, c])
+                update = tree.predict(X)
+                scores[:, c] += self.learning_rate * update
+                stage.append(tree)
+            self.stages_.append(stage)
+
+    def _raw_scores(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        scores = np.tile(self._base_scores, (len(X), 1))
+        for stage in self.stages_:
+            for c, tree in enumerate(stage):
+                scores[:, c] += self.learning_rate * tree.predict(X)
+        return scores
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return _softmax(self._raw_scores(X))

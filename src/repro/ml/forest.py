@@ -1,0 +1,57 @@
+"""Random forest: bagged CART trees with feature subsampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Classifier
+from repro.ml.tree import DecisionTreeClassifier
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class RandomForestClassifier(Classifier):
+    """Majority-vote ensemble of bootstrapped Gini trees."""
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        max_depth: int = 12,
+        min_samples_leaf: int = 1,
+        max_features="sqrt",
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = ensure_rng(rng)
+        self.trees_: list = []
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        n = len(X)
+        self.trees_ = []
+        for tree_rng in spawn_rngs(self.rng, self.n_estimators):
+            idx = tree_rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                rng=tree_rng,
+            )
+            tree.classes_ = np.arange(int(y.max()) + 1)
+            tree._fit(X[idx], y[idx])
+            self.trees_.append(tree)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        k = self.n_classes
+        acc = np.zeros((len(X), k))
+        for tree in self.trees_:
+            probs = tree.predict_proba(X)
+            if probs.shape[1] < k:
+                probs = np.pad(probs, ((0, 0), (0, k - probs.shape[1])))
+            acc += probs
+        return acc / len(self.trees_)

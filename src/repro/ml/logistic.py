@@ -1,0 +1,74 @@
+"""Multinomial logistic regression trained by full-batch Adam."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Classifier
+from repro.ml.preprocessing import StandardScaler
+
+
+class LogisticRegressionClassifier(Classifier):
+    """Softmax regression with L2 regularization on standardized features."""
+
+    def __init__(
+        self,
+        max_iter: int = 300,
+        lr: float = 0.1,
+        l2: float = 1e-4,
+        tol: float = 1e-6,
+    ) -> None:
+        super().__init__()
+        self.max_iter = max_iter
+        self.lr = lr
+        self.l2 = l2
+        self.tol = tol
+        self.coef_: np.ndarray | None = None
+        self.intercept_: np.ndarray | None = None
+        self._scaler = StandardScaler()
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        X = self._scaler.fit_transform(X)
+        n, d = X.shape
+        k = int(y.max()) + 1 if n else 1
+        W = np.zeros((d, k))
+        b = np.zeros(k)
+        onehot = np.zeros((n, k))
+        onehot[np.arange(n), y] = 1.0
+
+        # Adam state.
+        mW = np.zeros_like(W); vW = np.zeros_like(W)
+        mb = np.zeros_like(b); vb = np.zeros_like(b)
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        prev_loss = np.inf
+        for t in range(1, self.max_iter + 1):
+            logits = X @ W + b
+            shifted = logits - logits.max(axis=1, keepdims=True)
+            exp = np.exp(shifted)
+            probs = exp / exp.sum(axis=1, keepdims=True)
+            loss = -np.mean(np.log(probs[np.arange(n), y] + 1e-12)) + (
+                0.5 * self.l2 * float((W**2).sum())
+            )
+            grad = (probs - onehot) / n
+            gW = X.T @ grad + self.l2 * W
+            gb = grad.sum(axis=0)
+            mW = beta1 * mW + (1 - beta1) * gW
+            vW = beta2 * vW + (1 - beta2) * gW**2
+            mb = beta1 * mb + (1 - beta1) * gb
+            vb = beta2 * vb + (1 - beta2) * gb**2
+            b1t = 1 - beta1**t
+            b2t = 1 - beta2**t
+            W -= self.lr * (mW / b1t) / (np.sqrt(vW / b2t) + eps)
+            b -= self.lr * (mb / b1t) / (np.sqrt(vb / b2t) + eps)
+            if abs(prev_loss - loss) < self.tol:
+                break
+            prev_loss = loss
+        self.coef_ = W
+        self.intercept_ = b
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        X = self._scaler.transform(X)
+        logits = X @ self.coef_ + self.intercept_
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)

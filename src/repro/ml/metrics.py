@@ -1,0 +1,30 @@
+"""Classification metrics (paper §4.3 reports accuracy)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """(TP + TN) / all — the paper's accuracy definition."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if len(y_true) != len(y_pred):
+        raise ValueError("length mismatch")
+    if len(y_true) == 0:
+        raise ValueError("empty inputs")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred, labels=None) -> np.ndarray:
+    """Counts[i, j] = #samples with true label i predicted as label j."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    index = {v: i for i, v in enumerate(labels)}
+    k = len(labels)
+    out = np.zeros((k, k), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        out[index[t], index[p]] += 1
+    return out

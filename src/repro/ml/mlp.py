@@ -1,0 +1,63 @@
+"""MLP classifier on the :mod:`repro.nn` substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Classifier
+from repro.ml.preprocessing import StandardScaler
+from repro.nn.layers import Dense, ReLU
+from repro.nn.losses import softmax_cross_entropy
+from repro.nn.network import Sequential
+from repro.nn.optimizers import Adam
+from repro.utils.rng import ensure_rng
+
+
+class MlpClassifier(Classifier):
+    """Feed-forward network with ReLU hidden layers and softmax output."""
+
+    def __init__(
+        self,
+        hidden: tuple = (64,),
+        epochs: int = 30,
+        batch_size: int = 128,
+        lr: float = 1e-3,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        self.hidden = tuple(hidden)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.rng = ensure_rng(rng)
+        self._scaler = StandardScaler()
+        self._net: Sequential | None = None
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        X = self._scaler.fit_transform(X)
+        n, d = X.shape
+        k = int(y.max()) + 1 if n else 1
+        layers: list = []
+        sizes = (d,) + self.hidden + (k,)
+        for i in range(len(sizes) - 1):
+            layers.append(Dense(sizes[i], sizes[i + 1], self.rng))
+            if i < len(sizes) - 2:
+                layers.append(ReLU())
+        self._net = Sequential(layers)
+        optimizer = Adam(lr=self.lr)
+
+        for _ in range(self.epochs):
+            perm = self.rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                idx = perm[start : start + self.batch_size]
+                logits = self._net.forward(X[idx], training=True)
+                _, grad = softmax_cross_entropy(logits, y[idx])
+                self._net.backward(grad)
+                optimizer.step(self._net.parameters(), self._net.gradients())
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        X = self._scaler.transform(np.asarray(X, dtype=np.float64))
+        logits = self._net.forward(X, training=False)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)

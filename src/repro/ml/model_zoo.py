@@ -1,0 +1,30 @@
+"""The paper's five classifiers with reproducible defaults (§4.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.logistic import LogisticRegressionClassifier
+from repro.ml.mlp import MlpClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+#: Model keys in the order the paper's figures use.
+PAPER_MODELS = ("DT", "LR", "RF", "GB", "MLP")
+
+
+def build_classifier(name: str, rng: np.random.Generator | int | None = None):
+    """Instantiate one of the paper's five models by its figure label."""
+    name = name.upper()
+    if name == "DT":
+        return DecisionTreeClassifier(max_depth=14, rng=rng)
+    if name == "LR":
+        return LogisticRegressionClassifier(max_iter=250)
+    if name == "RF":
+        return RandomForestClassifier(n_estimators=25, max_depth=14, rng=rng)
+    if name == "GB":
+        return GradientBoostingClassifier(n_estimators=20, max_depth=3, rng=rng)
+    if name == "MLP":
+        return MlpClassifier(hidden=(64,), epochs=25, rng=rng)
+    raise KeyError(f"unknown model {name!r}; expected one of {PAPER_MODELS}")

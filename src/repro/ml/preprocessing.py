@@ -1,0 +1,57 @@
+"""Feature preprocessing: scaling and label encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Zero-mean unit-variance scaling (constant features left untouched)."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=np.float64)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.scale_ = np.where(std > 1e-12, std, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler is not fitted")
+        return (np.asarray(X, dtype=np.float64) - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class LabelEncoder:
+    """Maps arbitrary label values to dense integers ``0..K-1``."""
+
+    def __init__(self) -> None:
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, y) -> "LabelEncoder":
+        self.classes_ = np.unique(np.asarray(y))
+        return self
+
+    def transform(self, y) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("encoder is not fitted")
+        y = np.asarray(y)
+        codes = np.searchsorted(self.classes_, y)
+        codes = np.clip(codes, 0, len(self.classes_) - 1)
+        if not np.array_equal(self.classes_[codes], y):
+            raise ValueError("unseen label encountered")
+        return codes.astype(np.int64)
+
+    def fit_transform(self, y) -> np.ndarray:
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, codes: np.ndarray) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("encoder is not fitted")
+        return self.classes_[np.asarray(codes, dtype=np.int64)]

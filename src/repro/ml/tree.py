@@ -1,0 +1,217 @@
+"""CART decision trees (classification and regression).
+
+Split finding is vectorized: per candidate feature the node's values are
+sorted once and impurities of every boundary are evaluated from prefix sums
+(class-count prefixes for Gini, sum/sum-of-squares prefixes for variance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.base import Classifier
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: "._Node | None" = None
+    right: "._Node | None" = None
+    value: np.ndarray | float | None = None  # leaf payload
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _resolve_max_features(max_features, d: int) -> int:
+    if max_features is None:
+        return d
+    if max_features == "sqrt":
+        return max(1, int(np.sqrt(d)))
+    if isinstance(max_features, float):
+        return max(1, int(max_features * d))
+    return min(int(max_features), d)
+
+
+class _BaseTree:
+    """Shared recursive builder; subclasses supply impurity machinery."""
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features=None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = max(min_samples_split, 2)
+        self.min_samples_leaf = max(min_samples_leaf, 1)
+        self.max_features = max_features
+        self.rng = ensure_rng(rng)
+        self.root: _Node | None = None
+
+    # Subclass hooks ---------------------------------------------------------
+    def _leaf_value(self, y: np.ndarray):
+        raise NotImplementedError
+
+    def _split_gain(self, y_sorted: np.ndarray):
+        """Return per-boundary impurity totals (lower = better), length n-1."""
+        raise NotImplementedError
+
+    def _is_pure(self, y: np.ndarray) -> bool:
+        raise NotImplementedError
+
+    # Building ---------------------------------------------------------------
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        n, d = X.shape
+        node = _Node(value=self._leaf_value(y))
+        if (
+            depth >= self.max_depth
+            or n < self.min_samples_split
+            or n < 2 * self.min_samples_leaf
+            or self._is_pure(y)
+        ):
+            return node
+
+        k = _resolve_max_features(self.max_features, d)
+        features = self.rng.choice(d, size=k, replace=False) if k < d else np.arange(d)
+        best = (np.inf, -1, 0.0, None)  # (impurity, feature, threshold, order)
+        for f in features:
+            xs = X[:, f]
+            order = np.argsort(xs, kind="stable")
+            xs_sorted = xs[order]
+            boundaries = np.nonzero(xs_sorted[1:] > xs_sorted[:-1])[0]
+            if len(boundaries) == 0:
+                continue
+            lo, hi = self.min_samples_leaf - 1, n - self.min_samples_leaf
+            boundaries = boundaries[(boundaries >= lo) & (boundaries < hi)]
+            if len(boundaries) == 0:
+                continue
+            totals = self._split_gain(y[order])
+            scores = totals[boundaries]
+            i = int(np.argmin(scores))
+            if scores[i] < best[0]:
+                b = boundaries[i]
+                threshold = (xs_sorted[b] + xs_sorted[b + 1]) / 2.0
+                best = (float(scores[i]), int(f), float(threshold), None)
+
+        if best[1] < 0:
+            return node
+        _, feature, threshold, _ = best
+        mask = X[:, feature] <= threshold
+        if not mask.any() or mask.all():
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _predict_values(self, X: np.ndarray) -> list:
+        """Leaf payload per row (iterative traversal with index masks)."""
+        X = np.asarray(X, dtype=np.float64)
+        out = [None] * len(X)
+        stack = [(self.root, np.arange(len(X)))]
+        while stack:
+            node, idx = stack.pop()
+            if len(idx) == 0:
+                continue
+            if node.is_leaf:
+                for i in idx:
+                    out[i] = node.value
+                continue
+            mask = X[idx, node.feature] <= node.threshold
+            stack.append((node.left, idx[mask]))
+            stack.append((node.right, idx[~mask]))
+        return out
+
+
+class DecisionTreeClassifier(_BaseTree, Classifier):
+    """CART with Gini impurity; leaves store class probability vectors."""
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features=None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        _BaseTree.__init__(
+            self, max_depth, min_samples_split, min_samples_leaf, max_features, rng
+        )
+        Classifier.__init__(self)
+        self._k = 0
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        self._k = int(y.max()) + 1 if len(y) else 1
+        self.root = self._build(X, y, depth=0)
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        counts = np.bincount(y, minlength=self._k).astype(np.float64)
+        total = counts.sum()
+        return counts / total if total else np.full(self._k, 1.0 / self._k)
+
+    def _is_pure(self, y: np.ndarray) -> bool:
+        return len(np.unique(y)) <= 1
+
+    def _split_gain(self, y_sorted: np.ndarray) -> np.ndarray:
+        n = len(y_sorted)
+        onehot = np.zeros((n, self._k))
+        onehot[np.arange(n), y_sorted] = 1.0
+        left = np.cumsum(onehot, axis=0)[:-1]  # counts left of each boundary
+        total = left[-1] + onehot[-1]
+        right = total - left
+        nl = np.arange(1, n)
+        nr = n - nl
+        gini_l = 1.0 - (left**2).sum(axis=1) / nl**2
+        gini_r = 1.0 - (right**2).sum(axis=1) / nr**2
+        return nl * gini_l + nr * gini_r
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        values = self._predict_values(X)
+        probs = np.vstack(values)
+        if probs.shape[1] < self.n_classes:  # pragma: no cover - defensive
+            probs = np.pad(probs, ((0, 0), (0, self.n_classes - probs.shape[1])))
+        return probs
+
+
+class DecisionTreeRegressor(_BaseTree):
+    """CART with variance reduction; leaves store means.  Used by boosting."""
+
+    def _fit_arrays(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        self.root = self._build(X, y, depth=0)
+        return self
+
+    # Regressors skip the Classifier label plumbing entirely.
+    fit = _fit_arrays
+
+    def _leaf_value(self, y: np.ndarray) -> float:
+        return float(y.mean()) if len(y) else 0.0
+
+    def _is_pure(self, y: np.ndarray) -> bool:
+        return len(y) == 0 or float(y.max() - y.min()) < 1e-12
+
+    def _split_gain(self, y_sorted: np.ndarray) -> np.ndarray:
+        n = len(y_sorted)
+        cumsum = np.cumsum(y_sorted)[:-1]
+        cumsq = np.cumsum(y_sorted**2)[:-1]
+        total_sum = cumsum[-1] + y_sorted[-1]
+        total_sq = cumsq[-1] + y_sorted[-1] ** 2
+        nl = np.arange(1, n)
+        nr = n - nl
+        # Weighted variance = sum of squares - sum^2/n per side.
+        sse_l = cumsq - cumsum**2 / nl
+        sse_r = (total_sq - cumsq) - (total_sum - cumsum) ** 2 / nr
+        return sse_l + sse_r
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return np.array(self._predict_values(X), dtype=np.float64)

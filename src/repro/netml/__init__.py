@@ -1,0 +1,13 @@
+"""NetML re-implementation: flow representations for novelty detection (§4.3).
+
+Mirrors the open-source NetML library the paper uses: packets are grouped
+into flows (>= 2 packets), each flow is embedded by one of six feature modes
+(IAT, SIZE, IAT_SIZE, STATS, SAMP-NUM, SAMP-SIZE), and a one-class SVM flags
+anomalous flows.
+"""
+
+from repro.netml.anomaly import NETML_MODES, netml_anomaly_ratio
+from repro.netml.features import flow_features
+from repro.netml.flows import Flow, build_flows
+
+__all__ = ["Flow", "NETML_MODES", "build_flows", "flow_features", "netml_anomaly_ratio"]

@@ -1,0 +1,81 @@
+"""NetML's six flow-representation modes.
+
+* ``IAT``       — order statistics of inter-arrival times;
+* ``SIZE``      — order statistics of packet sizes;
+* ``IAT_SIZE``  — concatenation of the two (the paper's "IS");
+* ``STATS``     — 10 aggregate statistics (duration, rates, size moments);
+* ``SAMP_NUM``  — packet counts in equal-width time windows ("SN");
+* ``SAMP_SIZE`` — byte counts in the same windows ("SS").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netml.flows import Flow
+
+_QUANTILES = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def _order_stats(values: np.ndarray) -> np.ndarray:
+    """mean, std, then the 5-point quantile summary."""
+    if len(values) == 0:
+        return np.zeros(2 + len(_QUANTILES))
+    qs = np.quantile(values, _QUANTILES)
+    return np.concatenate([[values.mean(), values.std()], qs])
+
+
+def _iat_features(flow: Flow) -> np.ndarray:
+    return _order_stats(flow.iats)
+
+
+def _size_features(flow: Flow) -> np.ndarray:
+    return _order_stats(flow.sizes)
+
+
+def _stats_features(flow: Flow) -> np.ndarray:
+    """NetML's STATS: 10 aggregate flow statistics."""
+    duration = max(flow.duration, 1e-9)
+    n_pkts = flow.n_packets
+    n_bytes = float(flow.sizes.sum())
+    iats = flow.iats
+    return np.array(
+        [
+            duration,
+            n_pkts,
+            n_bytes,
+            n_pkts / duration,            # packets per second
+            n_bytes / duration,           # bytes per second
+            flow.sizes.mean(),
+            flow.sizes.std(),
+            flow.sizes.min(),
+            flow.sizes.max(),
+            iats.mean() if len(iats) else 0.0,
+        ]
+    )
+
+
+def _sampled_series(flow: Flow, n_windows: int, weights: np.ndarray | None) -> np.ndarray:
+    """Per-window aggregation over the flow's active interval."""
+    duration = max(flow.duration, 1e-9)
+    rel = (flow.timestamps - flow.timestamps[0]) / duration
+    bins = np.clip((rel * n_windows).astype(np.int64), 0, n_windows - 1)
+    return np.bincount(bins, weights=weights, minlength=n_windows).astype(np.float64)
+
+
+def flow_features(flow: Flow, mode: str, n_windows: int = 10) -> np.ndarray:
+    """Feature vector of one flow under the given NetML mode."""
+    mode = mode.upper().replace("-", "_")
+    if mode == "IAT":
+        return _iat_features(flow)
+    if mode == "SIZE":
+        return _size_features(flow)
+    if mode in ("IAT_SIZE", "IS"):
+        return np.concatenate([_iat_features(flow), _size_features(flow)])
+    if mode == "STATS":
+        return _stats_features(flow)
+    if mode in ("SAMP_NUM", "SN"):
+        return _sampled_series(flow, n_windows, None)
+    if mode in ("SAMP_SIZE", "SS"):
+        return _sampled_series(flow, n_windows, flow.sizes)
+    raise KeyError(f"unknown NetML mode {mode!r}")

@@ -1,0 +1,28 @@
+"""Minimal numpy neural-network substrate.
+
+Supports the two consumers in this reproduction: the MLP classifier of the
+ML task suite and the NetShare baseline's GAN (whose discriminator trains
+under DP-SGD).  Dense layers keep per-example caches so DP-SGD can clip
+per-example gradients exactly.
+"""
+
+from repro.nn.layers import Dense, LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.losses import bce_with_logits, mse_loss, softmax_cross_entropy
+from repro.nn.network import Sequential
+from repro.nn.optimizers import SGD, Adam
+from repro.nn.dpsgd import DpSgdOptimizer
+
+__all__ = [
+    "Adam",
+    "Dense",
+    "DpSgdOptimizer",
+    "LeakyReLU",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Sigmoid",
+    "Tanh",
+    "bce_with_logits",
+    "mse_loss",
+    "softmax_cross_entropy",
+]

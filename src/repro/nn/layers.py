@@ -1,0 +1,129 @@
+"""Layers: dense affine maps and element-wise activations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Layer:
+    """Base layer: parameter-free by default."""
+
+    def params(self) -> dict:
+        """Mapping name -> parameter array (mutated in place by optimizers)."""
+        return {}
+
+    def grads(self) -> dict:
+        """Mapping name -> gradient array (same shapes as ``params``)."""
+        return {}
+
+    def per_example_grads(self) -> dict:
+        """Mapping name -> (batch, *param.shape) per-example gradients."""
+        return {}
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class Dense(Layer):
+    """Affine layer ``y = x W + b`` with He/Xavier-style initialization."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        scale: float | None = None,
+    ) -> None:
+        if scale is None:
+            scale = np.sqrt(2.0 / (in_features + out_features))
+        self.W = rng.normal(0.0, scale, size=(in_features, out_features))
+        self.b = np.zeros(out_features)
+        self.gW = np.zeros_like(self.W)
+        self.gb = np.zeros_like(self.b)
+        self._x: np.ndarray | None = None
+        self._delta: np.ndarray | None = None
+
+    def params(self) -> dict:
+        return {"W": self.W, "b": self.b}
+
+    def grads(self) -> dict:
+        return {"W": self.gW, "b": self.gb}
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._x = x if training else None
+        return x @ self.W + self.b
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before a training forward pass")
+        self._delta = grad_out
+        self.gW = self._x.T @ grad_out
+        self.gb = grad_out.sum(axis=0)
+        return grad_out @ self.W.T
+
+    def per_example_grads(self) -> dict:
+        if self._x is None or self._delta is None:
+            raise RuntimeError("per-example grads require a completed backward pass")
+        # gW_i = x_i^T δ_i — outer products, one per example.
+        gW = np.einsum("ni,nj->nij", self._x, self._delta)
+        return {"W": gW, "b": self._delta.copy()}
+
+
+class ReLU(Layer):
+    """max(0, x)."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * self._mask
+
+
+class LeakyReLU(Layer):
+    """max(alpha*x, x) — the GAN literature's default discriminator activation."""
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        self.alpha = alpha
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, self.alpha * x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return np.where(self._mask, grad_out, self.alpha * grad_out)
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent."""
+
+    def __init__(self) -> None:
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * (1.0 - self._out**2)
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid."""
+
+    def __init__(self) -> None:
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._out = 1.0 / (1.0 + np.exp(-np.clip(x, -60, 60)))
+        return self._out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * self._out * (1.0 - self._out)

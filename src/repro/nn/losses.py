@@ -1,0 +1,41 @@
+"""Losses returning ``(scalar_loss, grad_wrt_logits)`` pairs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray) -> tuple:
+    """Mean softmax cross-entropy over integer labels."""
+    logits = np.asarray(logits, dtype=np.float64)
+    n = logits.shape[0]
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    eps = 1e-12
+    loss = -np.log(probs[np.arange(n), labels] + eps).mean()
+    grad = probs.copy()
+    grad[np.arange(n), labels] -= 1.0
+    return float(loss), grad / n
+
+
+def bce_with_logits(logits: np.ndarray, targets: np.ndarray) -> tuple:
+    """Mean binary cross-entropy on logits (numerically stable)."""
+    logits = np.asarray(logits, dtype=np.float64).reshape(-1)
+    targets = np.asarray(targets, dtype=np.float64).reshape(-1)
+    n = len(logits)
+    # log(1 + e^{-|x|}) + max(x, 0) - x*t
+    loss = np.mean(np.maximum(logits, 0) - logits * targets + np.log1p(np.exp(-np.abs(logits))))
+    probs = 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
+    grad = (probs - targets).reshape(-1, 1) / n
+    return float(loss), grad
+
+
+def mse_loss(outputs: np.ndarray, targets: np.ndarray) -> tuple:
+    """Mean squared error."""
+    outputs = np.asarray(outputs, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    diff = outputs - targets
+    loss = float(np.mean(diff**2))
+    grad = 2.0 * diff / diff.size
+    return loss, grad

@@ -1,0 +1,66 @@
+"""Sequential container with forward/backward plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+
+class Sequential:
+    """A stack of layers trained by an external optimizer."""
+
+    def __init__(self, layers: list) -> None:
+        self.layers: list[Layer] = list(layers)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        out = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def __call__(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    def parameters(self) -> list:
+        """Flat list of ``(layer_index, name, array)`` parameter triples."""
+        out = []
+        for i, layer in enumerate(self.layers):
+            for name, arr in layer.params().items():
+                out.append((i, name, arr))
+        return out
+
+    def gradients(self) -> list:
+        """Gradients aligned with :meth:`parameters`."""
+        out = []
+        for i, layer in enumerate(self.layers):
+            grads = layer.grads()
+            for name in layer.params():
+                out.append(grads[name])
+        return out
+
+    def per_example_gradients(self) -> list:
+        """Per-example gradients aligned with :meth:`parameters`."""
+        out = []
+        for layer in self.layers:
+            pex = layer.per_example_grads()
+            for name in layer.params():
+                out.append(pex[name])
+        return out
+
+    def set_parameters(self, values: list) -> None:
+        """Copy parameter values (same order as :meth:`parameters`)."""
+        params = self.parameters()
+        if len(values) != len(params):
+            raise ValueError("parameter count mismatch")
+        for (_, _, arr), value in zip(params, values):
+            arr[...] = value
+
+    def get_parameters(self) -> list:
+        """Deep copies of all parameter arrays."""
+        return [arr.copy() for _, _, arr in self.parameters()]

@@ -1,0 +1,55 @@
+"""Optimizers operating on a Sequential's parameter/gradient lists."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, lr: float = 0.01, momentum: float = 0.0) -> None:
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: list | None = None
+
+    def step(self, params: list, grads: list) -> None:
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(g) for g in grads]
+        for (_, _, arr), grad, vel in zip(params, grads, self._velocity):
+            vel *= self.momentum
+            vel -= self.lr * grad
+            arr += vel
+
+
+class Adam:
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: list | None = None
+        self._v: list | None = None
+        self._t = 0
+
+    def step(self, params: list, grads: list) -> None:
+        if self._m is None:
+            self._m = [np.zeros_like(g) for g in grads]
+            self._v = [np.zeros_like(g) for g in grads]
+        self._t += 1
+        b1t = 1.0 - self.beta1**self._t
+        b2t = 1.0 - self.beta2**self._t
+        for (_, _, arr), grad, m, v in zip(params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1 - self.beta1) * grad
+            v *= self.beta2
+            v += (1 - self.beta2) * grad**2
+            arr -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.eps)

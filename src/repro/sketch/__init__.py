@@ -1,0 +1,26 @@
+"""Sketching algorithms for the data-sketching evaluation (paper §4.2)."""
+
+from repro.sketch.base import MultiplyShiftHasher, Sketch
+from repro.sketch.count_min import CountMinSketch
+from repro.sketch.count_sketch import CountSketch
+from repro.sketch.heavy_hitters import (
+    exact_counts,
+    exact_heavy_hitters,
+    heavy_hitter_are,
+    sketch_fidelity_error,
+)
+from repro.sketch.nitrosketch import NitroSketch
+from repro.sketch.univmon import UnivMon
+
+__all__ = [
+    "CountMinSketch",
+    "CountSketch",
+    "MultiplyShiftHasher",
+    "NitroSketch",
+    "Sketch",
+    "UnivMon",
+    "exact_counts",
+    "exact_heavy_hitters",
+    "heavy_hitter_are",
+    "sketch_fidelity_error",
+]

@@ -1,0 +1,66 @@
+"""Sketch plumbing: vectorized 2-universal hashing and the common interface.
+
+All sketches hash integer keys (IPv4 addresses, ports, flow ids) with
+multiply-shift hashing: ``h_a(x) = (a * x) >> (64 - log2(w))`` with random
+odd ``a`` is 2-universal onto power-of-two ranges, and the uint64 wraparound
+*is* the mod-2^64 arithmetic the scheme requires — no big-int slowdowns.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+
+def _round_pow2(width: int) -> int:
+    """Smallest power of two >= width."""
+    if width < 2:
+        return 2
+    return 1 << int(np.ceil(np.log2(width)))
+
+
+class MultiplyShiftHasher:
+    """A bank of ``depth`` independent multiply-shift hash functions."""
+
+    def __init__(self, depth: int, width: int, rng: np.random.Generator) -> None:
+        self.width = _round_pow2(width)
+        self.depth = depth
+        self._shift = np.uint64(64 - int(np.log2(self.width)))
+        # Random odd multipliers (one per row) for the index hash, and a
+        # second bank for sign hashes.
+        self._a = (rng.integers(1, 2**63, size=depth, dtype=np.uint64) << np.uint64(1)) | np.uint64(1)
+        self._b = (rng.integers(1, 2**63, size=depth, dtype=np.uint64) << np.uint64(1)) | np.uint64(1)
+
+    def index(self, keys: np.ndarray) -> np.ndarray:
+        """(depth, n) bucket indices."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            prod = self._a[:, None] * keys[None, :]
+        return (prod >> self._shift).astype(np.int64)
+
+    def sign(self, keys: np.ndarray) -> np.ndarray:
+        """(depth, n) ±1 signs."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            prod = self._b[:, None] * keys[None, :]
+        bit = (prod >> np.uint64(63)).astype(np.int64)
+        return 2 * bit - 1
+
+
+class Sketch(abc.ABC):
+    """Streaming frequency sketch over integer keys."""
+
+    @abc.abstractmethod
+    def update(self, keys: np.ndarray, counts: np.ndarray | None = None) -> None:
+        """Process a batch of key observations (``counts`` defaults to 1s)."""
+
+    @abc.abstractmethod
+    def estimate(self, keys: np.ndarray) -> np.ndarray:
+        """Estimated frequencies for ``keys``."""
+
+    def process(self, keys: np.ndarray) -> "Sketch":
+        """Convenience: update with unit counts and return self."""
+        self.update(keys)
+        return self

@@ -1,0 +1,60 @@
+"""Count-Min Sketch (Cormode & Muthukrishnan, 2005)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sketch.base import MultiplyShiftHasher, Sketch
+from repro.utils.rng import ensure_rng
+
+
+class CountMinSketch(Sketch):
+    """Min-of-rows frequency estimator; never underestimates.
+
+    ``conservative=True`` enables conservative update: an arriving key only
+    raises the counters that currently equal its minimum estimate, sharply
+    reducing overestimation on skewed streams.
+    """
+
+    def __init__(
+        self,
+        width: int = 1024,
+        depth: int = 4,
+        conservative: bool = False,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        rng = ensure_rng(rng)
+        self.hasher = MultiplyShiftHasher(depth, width, rng)
+        self.table = np.zeros((depth, self.hasher.width), dtype=np.float64)
+        self.conservative = conservative
+        self.total = 0.0
+
+    def update(self, keys: np.ndarray, counts: np.ndarray | None = None) -> None:
+        keys = np.asarray(keys)
+        if counts is None:
+            counts = np.ones(len(keys))
+        counts = np.asarray(counts, dtype=np.float64)
+        self.total += float(counts.sum())
+        # Aggregate duplicate keys first: equivalent for plain CMS and the
+        # standard batch approximation for conservative update.
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        agg = np.bincount(inverse, weights=counts)
+        idx = self.hasher.index(uniq)
+        if not self.conservative:
+            for row in range(idx.shape[0]):
+                np.add.at(self.table[row], idx[row], agg)
+            return
+        current = np.stack([self.table[r, idx[r]] for r in range(idx.shape[0])])
+        new_floor = current.min(axis=0) + agg
+        for row in range(idx.shape[0]):
+            # maximum.at handles several keys landing in one bucket; plain
+            # fancy assignment would keep only the last write.
+            np.maximum.at(self.table[row], idx[row], new_floor)
+
+    def estimate(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys)
+        if len(keys) == 0:
+            return np.empty(0)
+        idx = self.hasher.index(keys)
+        rows = np.stack([self.table[r, idx[r]] for r in range(idx.shape[0])])
+        return rows.min(axis=0)

@@ -1,0 +1,47 @@
+"""Count Sketch (Charikar et al.): signed counters, median estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sketch.base import MultiplyShiftHasher, Sketch
+from repro.utils.rng import ensure_rng
+
+
+class CountSketch(Sketch):
+    """Unbiased frequency estimator via random signs + median of rows."""
+
+    def __init__(
+        self,
+        width: int = 1024,
+        depth: int = 5,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        rng = ensure_rng(rng)
+        self.hasher = MultiplyShiftHasher(depth, width, rng)
+        self.table = np.zeros((depth, self.hasher.width), dtype=np.float64)
+        self.total = 0.0
+
+    def update(self, keys: np.ndarray, counts: np.ndarray | None = None) -> None:
+        keys = np.asarray(keys)
+        if counts is None:
+            counts = np.ones(len(keys))
+        counts = np.asarray(counts, dtype=np.float64)
+        self.total += float(counts.sum())
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        agg = np.bincount(inverse, weights=counts)
+        idx = self.hasher.index(uniq)
+        sign = self.hasher.sign(uniq)
+        for row in range(idx.shape[0]):
+            np.add.at(self.table[row], idx[row], sign[row] * agg)
+
+    def estimate(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys)
+        if len(keys) == 0:
+            return np.empty(0)
+        idx = self.hasher.index(keys)
+        sign = self.hasher.sign(keys)
+        rows = np.stack(
+            [sign[r] * self.table[r, idx[r]] for r in range(idx.shape[0])]
+        )
+        return np.median(rows, axis=0)

@@ -1,0 +1,88 @@
+"""Heavy-hitter harness and the fidelity metric of the paper's Fig. 2.
+
+The experiment: find the raw stream's heavy hitters (frequency above a
+threshold fraction), measure each sketch's average relative estimation error
+on them (``err_raw``), repeat on the synthesized stream (``err_syn``), and
+report ``|err_syn - err_raw| / err_raw`` — i.e. *does synthetic data stress
+the sketch the way real data does?*
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+def exact_counts(keys: np.ndarray) -> tuple:
+    """``(unique_keys, counts)`` of a stream."""
+    keys = np.asarray(keys)
+    uniq, counts = np.unique(keys, return_counts=True)
+    return uniq, counts
+
+
+def exact_heavy_hitters(keys: np.ndarray, threshold: float = 0.001) -> tuple:
+    """Keys whose frequency exceeds ``threshold`` of the stream length."""
+    if not 0 < threshold < 1:
+        raise ValueError("threshold must be in (0, 1)")
+    uniq, counts = exact_counts(keys)
+    cut = threshold * len(np.asarray(keys))
+    mask = counts > cut
+    return uniq[mask], counts[mask]
+
+
+def exact_top_k(keys: np.ndarray, k: int) -> tuple:
+    """The k most frequent keys and their exact counts."""
+    uniq, counts = exact_counts(keys)
+    order = np.argsort(counts)[::-1][:k]
+    return uniq[order], counts[order]
+
+
+def heavy_hitter_are(
+    sketch, keys: np.ndarray, threshold: float = 0.001, min_hitters: int = 5
+) -> float:
+    """Average relative error of a sketch on the stream's heavy hitters.
+
+    Heavy hitters are keys above ``threshold`` of the stream; when a stream
+    is too flat to have any (synthetic outputs sometimes are), the top
+    ``min_hitters`` keys stand in so the metric stays defined.
+    """
+    hh_keys, hh_counts = exact_heavy_hitters(keys, threshold)
+    if len(hh_keys) < min_hitters:
+        hh_keys, hh_counts = exact_top_k(keys, min_hitters)
+    if len(hh_keys) == 0:
+        return float("nan")
+    sketch.update(np.asarray(keys))
+    estimates = sketch.estimate(hh_keys)
+    return float(np.mean(np.abs(estimates - hh_counts) / hh_counts))
+
+
+#: Floor on the raw estimation error when normalizing: sketches sized
+#: generously can drive err_raw to ~0, where the ratio is pure seed noise.
+RAW_ERROR_FLOOR = 0.01
+
+
+def sketch_fidelity_error(
+    sketch_factory,
+    raw_keys: np.ndarray,
+    syn_keys: np.ndarray,
+    threshold: float = 0.001,
+    trials: int = 10,
+    rng: np.random.Generator | int | None = None,
+) -> float:
+    """Paper Fig. 2 metric: ``|err_syn - err_raw| / err_raw``, mean of trials.
+
+    ``sketch_factory(rng)`` builds a fresh sketch per trial (sketches are
+    randomized, hence the 10-trial averaging in the paper).
+    """
+    rng = ensure_rng(rng)
+    errors = []
+    for raw_rng, syn_rng in zip(*[iter(spawn_rngs(rng, 2 * trials))] * 2):
+        err_raw = heavy_hitter_are(sketch_factory(raw_rng), raw_keys, threshold)
+        err_syn = heavy_hitter_are(sketch_factory(syn_rng), syn_keys, threshold)
+        if np.isnan(err_raw) or np.isnan(err_syn):
+            continue
+        # The floor applies to the denominator only: |err_syn - err_raw|
+        # stays the honest numerator even when the raw error is ~0.
+        errors.append(abs(err_syn - err_raw) / max(err_raw, RAW_ERROR_FLOOR))
+    return float(np.mean(errors)) if errors else float("nan")

@@ -1,0 +1,103 @@
+"""UnivMon (Liu et al., SIGCOMM 2016): universal streaming via level sampling.
+
+Keys are recursively subsampled across ``levels`` substreams (level ``l``
+keeps a key iff ``l`` independent hash bits are all 1); each substream is
+summarized by a Count Sketch plus a heavy-hitter candidate set.  Any
+G-sum statistic is then estimated bottom-up with the standard recursion
+``Y_l = 2 Y_{l+1} + sum_{HH at level l} (1 - 2·[in level l+1]) g(w_i)``.
+For the paper's experiment only per-key frequency estimates are needed, but
+the full structure (levels, HH tracking, G-sum) is implemented.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sketch.base import MultiplyShiftHasher, Sketch
+from repro.sketch.count_sketch import CountSketch
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class UnivMon(Sketch):
+    """Multi-level Count-Sketch hierarchy with top-k tracking per level."""
+
+    def __init__(
+        self,
+        levels: int = 8,
+        width: int = 1024,
+        depth: int = 5,
+        top_k: int = 64,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        rng = ensure_rng(rng)
+        child_rngs = spawn_rngs(rng, levels + 1)
+        self.levels = levels
+        self.top_k = top_k
+        self.sketches = [
+            CountSketch(width=max(width >> min(l, 4), 64), depth=depth, rng=child_rngs[l])
+            for l in range(levels)
+        ]
+        # One sampling hash per level transition.
+        self._samplers = MultiplyShiftHasher(levels, 2, child_rngs[-1])
+        self._candidates: list[dict] = [dict() for _ in range(levels)]
+
+    def _level_mask(self, keys: np.ndarray, level: int) -> np.ndarray:
+        """Keys surviving the first ``level`` subsampling bits."""
+        mask = np.ones(len(keys), dtype=bool)
+        for l in range(level):
+            bit = self._samplers.index(keys)[l] & 1
+            mask &= bit.astype(bool)
+        return mask
+
+    def update(self, keys: np.ndarray, counts: np.ndarray | None = None) -> None:
+        keys = np.asarray(keys)
+        if counts is None:
+            counts = np.ones(len(keys))
+        counts = np.asarray(counts, dtype=np.float64)
+        for level in range(self.levels):
+            mask = self._level_mask(keys, level)
+            if not mask.any():
+                break
+            sub_keys = keys[mask]
+            sub_counts = counts[mask]
+            sketch = self.sketches[level]
+            sketch.update(sub_keys, sub_counts)
+            self._track_candidates(level, sub_keys)
+
+    def _track_candidates(self, level: int, keys: np.ndarray) -> None:
+        """Maintain a bounded candidate set of likely heavy keys per level."""
+        cand = self._candidates[level]
+        uniq = np.unique(keys)
+        estimates = self.sketches[level].estimate(uniq)
+        for key, est in zip(uniq.tolist(), estimates.tolist()):
+            cand[key] = est
+        if len(cand) > 4 * self.top_k:
+            keep = sorted(cand.items(), key=lambda kv: kv[1], reverse=True)[: self.top_k]
+            self._candidates[level] = dict(keep)
+
+    def estimate(self, keys: np.ndarray) -> np.ndarray:
+        """Frequency estimates from the level-0 Count Sketch."""
+        return self.sketches[0].estimate(keys)
+
+    def heavy_hitters(self, level: int = 0) -> dict:
+        """Current heavy-hitter candidates at a level (key -> estimate)."""
+        cand = self._candidates[level]
+        keep = sorted(cand.items(), key=lambda kv: kv[1], reverse=True)[: self.top_k]
+        return dict(keep)
+
+    def gsum(self, g) -> float:
+        """Estimate ``sum_i g(f_i)`` with the UnivMon recursion."""
+        y_next = 0.0
+        for level in reversed(range(self.levels)):
+            hh = self.heavy_hitters(level)
+            if not hh:
+                continue
+            keys = np.fromiter(hh.keys(), dtype=np.int64)
+            freqs = np.clip(self.sketches[level].estimate(keys), 0.0, None)
+            if level + 1 < self.levels:
+                in_next = self._level_mask(keys, level + 1).astype(np.float64)
+            else:
+                in_next = np.zeros(len(keys))
+            contrib = float(np.sum((1.0 - 2.0 * in_next) * g(freqs)))
+            y_next = 2.0 * y_next + contrib
+        return y_next

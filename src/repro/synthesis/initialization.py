@@ -1,0 +1,162 @@
+"""Synthetic-dataset initialization: random vs GUMMI (paper §3.4).
+
+GUM (PrivSyn) starts from an *independently sampled* dataset and iteratively
+repairs marginals.  GUMMI instead seeds the dataset from the noisy multi-way
+marginals that contain the key attribute (the classification label), ordered
+by the Pearson correlation computed *on the noisy marginals* — no budget is
+spent.  Feature↔label correlations are then present from iteration zero,
+which is exactly why Fig. 8 shows GUMMI ≫ GUM at small iteration counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.domain import Domain
+from repro.marginals.marginal import Marginal
+from repro.utils.rng import ensure_rng
+
+
+def weighted_pearson(counts: np.ndarray) -> float:
+    """Pearson correlation of the two index variables of a 2-D count table.
+
+    Cell (i, j) contributes weight ``counts[i, j]`` to the joint sample of
+    the bin indices.  Degenerate (zero-variance) tables score 0.
+    """
+    counts = np.clip(np.asarray(counts, dtype=np.float64), 0.0, None)
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    i = np.arange(counts.shape[0], dtype=np.float64)
+    j = np.arange(counts.shape[1], dtype=np.float64)
+    pi = counts.sum(axis=1) / total
+    pj = counts.sum(axis=0) / total
+    mi = float(pi @ i)
+    mj = float(pj @ j)
+    vi = float(pi @ (i - mi) ** 2)
+    vj = float(pj @ (j - mj) ** 2)
+    if vi <= 0 or vj <= 0:
+        return 0.0
+    cov = float(((counts / total) * np.outer(i - mi, j - mj)).sum())
+    return cov / np.sqrt(vi * vj)
+
+
+def key_correlation_score(marginal: Marginal, key_attr: str) -> float:
+    """Max |Pearson| between the key attribute and any co-attribute."""
+    if key_attr not in marginal.attrs or len(marginal.attrs) < 2:
+        return 0.0
+    best = 0.0
+    for other in marginal.attrs:
+        if other == key_attr:
+            continue
+        pair = marginal.project((key_attr, other))
+        best = max(best, abs(weighted_pearson(pair.counts)))
+    return best
+
+
+def _sample_joint(marginal: Marginal, n: int, rng: np.random.Generator) -> dict:
+    """Sample n cell tuples from a marginal, returned as per-attr columns."""
+    probs = np.clip(marginal.flat(), 0.0, None)
+    total = probs.sum()
+    if total <= 0:
+        probs = np.ones_like(probs)
+        total = probs.sum()
+    flat = rng.choice(probs.size, size=n, p=probs / total)
+    coords = np.unravel_index(flat, marginal.shape)
+    return {a: c.astype(np.int32) for a, c in zip(marginal.attrs, coords)}
+
+
+def _sample_conditional(
+    marginal: Marginal,
+    given_attr: str,
+    given_col: np.ndarray,
+    rng: np.random.Generator,
+) -> dict:
+    """Sample the remaining attrs of ``marginal`` conditioned on one column."""
+    rest = tuple(a for a in marginal.attrs if a != given_attr)
+    axis = marginal.attrs.index(given_attr)
+    moved = np.moveaxis(np.clip(marginal.counts, 0.0, None), axis, 0)
+    flat = moved.reshape(moved.shape[0], -1)
+    rest_shape = moved.shape[1:]
+    n = len(given_col)
+    out_flat = np.empty(n, dtype=np.int64)
+    for value in np.unique(given_col):
+        idx = np.nonzero(given_col == value)[0]
+        probs = flat[value]
+        total = probs.sum()
+        if total <= 0:
+            probs = np.ones_like(probs)
+            total = probs.sum()
+        out_flat[idx] = rng.choice(probs.size, size=len(idx), p=probs / total)
+    coords = np.unravel_index(out_flat, rest_shape)
+    return {a: c.astype(np.int32) for a, c in zip(rest, coords)}
+
+
+def random_initialization(
+    one_way: dict,
+    attrs: tuple,
+    n: int,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Independent per-attribute sampling from (noisy) 1-way marginals."""
+    rng = ensure_rng(rng)
+    data = np.empty((n, len(attrs)), dtype=np.int32)
+    for j, attr in enumerate(attrs):
+        counts = np.clip(np.asarray(one_way[attr], dtype=np.float64), 0.0, None)
+        total = counts.sum()
+        if total <= 0:
+            counts = np.ones_like(counts)
+            total = counts.sum()
+        data[:, j] = rng.choice(len(counts), size=n, p=counts / total)
+    return data
+
+
+def marginal_initialization(
+    marginals: list,
+    one_way: dict,
+    attrs: tuple,
+    domain: Domain,
+    n: int,
+    key_attr: str,
+    n_init: int = 8,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """GUMMI initialization (paper §3.4).
+
+    Selects up to ``n_init`` published marginals containing ``key_attr``,
+    ordered by noisy-marginal Pearson correlation (high to low), and chains
+    joint/conditional sampling so the initial dataset already carries the
+    feature↔label correlations.  Attributes not reached fall back to their
+    1-way marginals.
+    """
+    rng = ensure_rng(rng)
+    if key_attr not in attrs:
+        raise KeyError(f"key attribute {key_attr!r} not in dataset attributes")
+
+    candidates = [m for m in marginals if key_attr in m.attrs and len(m.attrs) > 1]
+    candidates.sort(key=lambda m: key_correlation_score(m, key_attr), reverse=True)
+    chosen = candidates[:n_init]
+
+    columns: dict[str, np.ndarray] = {}
+    for m in chosen:
+        assigned = [a for a in m.attrs if a in columns]
+        if not assigned:
+            sampled = _sample_joint(m, n, rng)
+            columns.update(sampled)
+        else:
+            given = assigned[0]
+            sampled = _sample_conditional(m, given, columns[given], rng)
+            for a, col in sampled.items():
+                if a not in columns:
+                    columns[a] = col
+
+    remaining = [a for a in attrs if a not in columns]
+    if remaining:
+        fallback = random_initialization(one_way, tuple(remaining), n, rng)
+        for j, a in enumerate(remaining):
+            columns[a] = fallback[:, j]
+
+    data = np.empty((n, len(attrs)), dtype=np.int32)
+    for j, a in enumerate(attrs):
+        data[:, j] = columns[a]
+    return data

@@ -1,0 +1,32 @@
+"""Shared low-level utilities: RNG plumbing, IPv4 math, validation, timing."""
+
+from repro.utils.ipaddr import (
+    ip_to_int,
+    int_to_ip,
+    ips_to_ints,
+    ints_to_ips,
+    prefix_mask,
+    apply_prefix,
+)
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability_vector,
+)
+
+__all__ = [
+    "Timer",
+    "apply_prefix",
+    "check_fraction",
+    "check_positive",
+    "check_probability_vector",
+    "ensure_rng",
+    "int_to_ip",
+    "ints_to_ips",
+    "ip_to_int",
+    "ips_to_ints",
+    "prefix_mask",
+    "spawn_rngs",
+]

@@ -1,0 +1,59 @@
+"""IPv4 address arithmetic on numpy arrays.
+
+Network traces store addresses as unsigned 32-bit integers internally; the
+helpers here convert between dotted-quad strings and integers, and implement
+the prefix operations used by the /30 binning rule of NetDPSyn (paper §3.2)
+and by CryptoPAn-style anonymization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+MAX_IPV4 = 2**32 - 1
+
+
+def ip_to_int(address: str) -> int:
+    """Convert a dotted-quad IPv4 string to an unsigned 32-bit integer."""
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not an IPv4 address: {address!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Convert an unsigned 32-bit integer to a dotted-quad IPv4 string."""
+    if not 0 <= value <= MAX_IPV4:
+        raise ValueError(f"IPv4 integer out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def ips_to_ints(addresses) -> np.ndarray:
+    """Vectorized :func:`ip_to_int` over an iterable of strings."""
+    return np.array([ip_to_int(a) for a in addresses], dtype=np.uint32)
+
+
+def ints_to_ips(values: np.ndarray) -> list[str]:
+    """Vectorized :func:`int_to_ip` over an integer array."""
+    return [int_to_ip(int(v)) for v in np.asarray(values).ravel()]
+
+
+def prefix_mask(prefix_len: int) -> int:
+    """Return the integer netmask for a ``/prefix_len`` IPv4 prefix."""
+    if not 0 <= prefix_len <= 32:
+        raise ValueError(f"prefix length out of range: {prefix_len}")
+    if prefix_len == 0:
+        return 0
+    return (MAX_IPV4 << (32 - prefix_len)) & MAX_IPV4
+
+
+def apply_prefix(values: np.ndarray, prefix_len: int) -> np.ndarray:
+    """Mask an array of integer IPv4 addresses down to their ``/prefix_len`` prefix."""
+    mask = prefix_mask(prefix_len)
+    return (np.asarray(values, dtype=np.uint64) & np.uint64(mask)).astype(np.uint32)

@@ -1,0 +1,37 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in this library receives an explicit
+:class:`numpy.random.Generator`.  These helpers normalize the various ways a
+caller may express a seed and derive independent child generators for
+sub-components so that results are reproducible yet uncorrelated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(rng: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    Accepts an existing generator (returned unchanged), an integer seed, or
+    ``None`` (fresh OS-entropy generator).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def spawn_rngs(rng: int | np.random.Generator | None, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators.
+
+    Uses the generator's bit generator to seed a :class:`numpy.random.SeedSequence`
+    so children do not overlap with the parent stream.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = ensure_rng(rng)
+    seeds = parent.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,99 @@
+"""Unit tests for the MIA attack and CryptoPAn anonymization."""
+
+import numpy as np
+import pytest
+
+from repro.anonymization import CryptoPan
+from repro.attacks import loss_threshold_mia
+from repro.ml import RandomForestClassifier
+from repro.utils.ipaddr import ip_to_int
+
+
+class TestMia:
+    def _overfit_model(self, seed=0):
+        # Tiny forest on tiny data overfits hard -> strong membership signal.
+        rng = np.random.default_rng(seed)
+        X_members = rng.normal(0, 1, size=(60, 4))
+        y_members = (X_members.sum(axis=1) + rng.normal(0, 2.0, 60) > 0).astype(int)
+        X_non = rng.normal(0, 1, size=(60, 4))
+        y_non = (X_non.sum(axis=1) + rng.normal(0, 2.0, 60) > 0).astype(int)
+        model = RandomForestClassifier(n_estimators=20, max_depth=12, rng=0)
+        model.fit(X_members, y_members)
+        return model, X_members, y_members, X_non, y_non
+
+    def test_attack_beats_chance_on_overfit_model(self):
+        model, Xm, ym, Xn, yn = self._overfit_model()
+        result = loss_threshold_mia(model, Xm, ym, Xn, yn, rng=1)
+        assert result.accuracy > 0.6
+
+    def test_member_loss_below_non_member(self):
+        model, Xm, ym, Xn, yn = self._overfit_model()
+        result = loss_threshold_mia(model, Xm, ym, Xn, yn, rng=1)
+        assert result.member_mean_loss < result.non_member_mean_loss
+
+    def test_chance_level_when_model_ignores_data(self):
+        rng = np.random.default_rng(2)
+        X_big = rng.normal(0, 1, size=(4000, 4))
+        y_big = (X_big.sum(axis=1) > 0).astype(int)
+        model = RandomForestClassifier(n_estimators=5, max_depth=3, rng=0)
+        model.fit(X_big, y_big)
+        # Fresh i.i.d. members/non-members: no memorization signal.
+        Xm = rng.normal(0, 1, size=(500, 4))
+        ym = (Xm.sum(axis=1) > 0).astype(int)
+        Xn = rng.normal(0, 1, size=(500, 4))
+        yn = (Xn.sum(axis=1) > 0).astype(int)
+        result = loss_threshold_mia(model, Xm, ym, Xn, yn, rng=3)
+        assert abs(result.accuracy - 0.5) < 0.12
+
+    def test_unseen_labels_handled(self):
+        model, Xm, ym, Xn, yn = self._overfit_model()
+        yn = yn.copy()
+        yn[0] = 99  # label the model never saw
+        result = loss_threshold_mia(model, Xm, ym, Xn, yn, rng=1)
+        assert np.isfinite(result.accuracy)
+
+
+class TestCryptoPan:
+    def test_deterministic(self):
+        pan = CryptoPan(b"key-1")
+        addr = ip_to_int("192.168.1.7")
+        assert pan.anonymize_int(addr) == pan.anonymize_int(addr)
+
+    def test_key_dependence(self):
+        addr = ip_to_int("192.168.1.7")
+        assert CryptoPan(b"key-1").anonymize_int(addr) != CryptoPan(b"key-2").anonymize_int(addr)
+
+    def test_prefix_preservation(self):
+        pan = CryptoPan(b"secret")
+        a = ip_to_int("10.1.2.3")
+        b = ip_to_int("10.1.2.200")   # shares /24
+        c = ip_to_int("10.1.99.1")    # shares /16 only
+        ea, eb, ec = pan.anonymize_int(a), pan.anonymize_int(b), pan.anonymize_int(c)
+
+        def shared_prefix(x, y):
+            return 32 - int(x ^ y).bit_length() if x != y else 32
+
+        assert shared_prefix(ea, eb) >= 24
+        assert 16 <= shared_prefix(ea, ec) < 24
+
+    def test_injective_on_sample(self):
+        pan = CryptoPan(b"secret")
+        rng = np.random.default_rng(0)
+        addrs = np.unique(rng.integers(0, 2**32 - 1, size=500))
+        out = pan.anonymize(addrs)
+        assert len(np.unique(out)) == len(addrs)
+
+    def test_vectorized_matches_scalar(self):
+        pan = CryptoPan(b"secret")
+        addrs = np.array([1, 2**31, 2**32 - 1])
+        vec = pan.anonymize(addrs)
+        for a, e in zip(addrs, vec):
+            assert pan.anonymize_int(int(a)) == e
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            CryptoPan(b"")
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            CryptoPan(b"k").anonymize_int(2**32)

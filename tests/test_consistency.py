@@ -1,0 +1,198 @@
+"""Unit and property tests for marginal post-processing (§3.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.binning import CategoricalCodec, LogNumericCodec, PortCodec
+from repro.consistency import (
+    ComparisonRule,
+    ImplicationRule,
+    attribute_consistency,
+    build_default_rules,
+    make_consistent,
+    norm_sub,
+    overall_total_consistency,
+    postprocess_marginals,
+)
+from repro.data.schema import FieldKind, FieldSpec, Schema
+from repro.marginals.marginal import Marginal
+
+
+class TestNormSub:
+    def test_projects_to_target(self):
+        v = np.array([5.0, -3.0, 2.0])
+        out = norm_sub(v, 10.0)
+        assert out.sum() == pytest.approx(10.0)
+        assert (out >= 0).all()
+
+    def test_preserves_order(self):
+        v = np.array([10.0, 5.0, -1.0])
+        out = norm_sub(v, 14.0)
+        assert out[0] >= out[1] >= out[2]
+
+    def test_already_valid_shifted_only(self):
+        v = np.array([4.0, 6.0])
+        out = norm_sub(v, 10.0)
+        assert np.allclose(out, v)
+
+    def test_zero_target(self):
+        assert norm_sub(np.array([1.0, 2.0]), 0.0).sum() == 0.0
+
+    def test_all_negative(self):
+        out = norm_sub(np.array([-5.0, -1.0]), 3.0)
+        assert out.sum() == pytest.approx(3.0)
+        assert (out >= 0).all()
+
+    def test_shape_preserved(self):
+        out = norm_sub(np.full((2, 3), -1.0), 6.0)
+        assert out.shape == (2, 3)
+
+    def test_rejects_negative_target(self):
+        with pytest.raises(ValueError):
+            norm_sub(np.ones(3), -1.0)
+
+    @given(
+        st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=40),
+        st.floats(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=100)
+    def test_feasibility_property(self, values, target):
+        out = norm_sub(np.array(values), target)
+        assert out.sum() == pytest.approx(target, abs=1e-6)
+        assert (out >= -1e-9).all()
+
+
+def _two_noisy_marginals():
+    # Two marginals sharing attribute 'a' with conflicting projections.
+    m1 = Marginal(("a", "b"), np.array([[10.0, 10.0], [5.0, 5.0]]), rho=0.1, sigma=1.0)
+    m2 = Marginal(("a", "c"), np.array([[4.0, 4.0], [11.0, 11.0]]), rho=0.1, sigma=2.0)
+    return m1, m2
+
+
+class TestWeightedAverage:
+    def test_totals_reconciled(self):
+        m1, m2 = _two_noisy_marginals()
+        out = overall_total_consistency([m1, m2])
+        assert out[0].total == pytest.approx(out[1].total)
+
+    def test_shared_attribute_reconciled(self):
+        m1, m2 = _two_noisy_marginals()
+        out = attribute_consistency([m1, m2], attrs=["a"])
+        pa1 = out[0].project(("a",)).counts
+        pa2 = out[1].project(("a",)).counts
+        assert np.allclose(pa1, pa2)
+
+    def test_less_noisy_marginal_dominates(self):
+        m1, m2 = _two_noisy_marginals()  # sigma 1 vs sigma 2
+        out = attribute_consistency([m1, m2], attrs=["a"])
+        consensus = out[0].project(("a",)).counts
+        original_precise = m1.project(("a",)).counts
+        original_noisy = m2.project(("a",)).counts
+        # Consensus sits closer to the lower-sigma marginal's projection.
+        assert np.abs(consensus - original_precise).sum() < np.abs(
+            consensus - original_noisy
+        ).sum()
+
+    def test_make_consistent_nonnegative(self):
+        m1 = Marginal(("a",), np.array([5.0, -2.0]), rho=0.1, sigma=1.0)
+        m2 = Marginal(("a", "b"), np.array([[1.0, 1.0], [4.0, -3.0]]), rho=0.1, sigma=1.0)
+        out = make_consistent([m1, m2], rounds=3)
+        for m in out:
+            assert (m.counts >= -1e-9).all()
+        assert out[0].total == pytest.approx(out[1].total)
+
+
+def _codecs():
+    pkt = LogNumericCodec("pkt", max_value=1e4)
+    byt = LogNumericCodec("byt", max_value=1e7)
+    proto = CategoricalCodec("proto", ("TCP", "UDP", "ICMP"))
+    port = PortCodec("dstport")
+    return {"pkt": pkt, "byt": byt, "proto": proto, "dstport": port}
+
+
+class TestComparisonRule:
+    def test_impossible_cells_zeroed(self):
+        codecs = _codecs()
+        rule = ComparisonRule("byt", "pkt", ">=")
+        shape = (codecs["byt"].domain_size, codecs["pkt"].domain_size)
+        m = Marginal(("byt", "pkt"), np.ones(shape))
+        out = rule.apply(m, codecs)
+        blo, bhi = codecs["byt"].bin_bounds()
+        plo, phi = codecs["pkt"].bin_bounds()
+        # A cell where every byt < every pkt must be zero.
+        for i in range(0, shape[0], 7):
+            for j in range(0, shape[1], 5):
+                if bhi[i] <= plo[j]:
+                    assert out.counts[i, j] == 0.0
+
+    def test_total_preserved(self):
+        codecs = _codecs()
+        rule = ComparisonRule("byt", "pkt", ">=")
+        shape = (codecs["byt"].domain_size, codecs["pkt"].domain_size)
+        m = Marginal(("byt", "pkt"), np.ones(shape))
+        out = rule.apply(m, codecs)
+        assert out.total == pytest.approx(m.total)
+
+    def test_applies_to(self):
+        rule = ComparisonRule("byt", "pkt")
+        assert rule.applies_to(("pkt", "byt", "x"))
+        assert not rule.applies_to(("pkt", "x"))
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError):
+            ComparisonRule("a", "b", op="!=")
+
+
+class TestImplicationRule:
+    def test_ftp_mass_capped(self):
+        codecs = _codecs()
+        rule = ImplicationRule("dstport", (21,), "proto", ("TCP",), tau=0.1)
+        port_size = codecs["dstport"].domain_size
+        counts = np.zeros((port_size, 3))
+        counts[21] = [10.0, 90.0, 0.0]  # 90% of FTP rows on UDP
+        m = Marginal(("dstport", "proto"), counts)
+        out = rule.apply(m, codecs)
+        slice_total = out.counts[21].sum()
+        bad = out.counts[21][1] + out.counts[21][2]
+        assert bad <= 0.1 * slice_total + 1e-9
+        assert slice_total == pytest.approx(100.0)
+
+    def test_below_threshold_untouched(self):
+        codecs = _codecs()
+        rule = ImplicationRule("dstport", (21,), "proto", ("TCP",), tau=0.5)
+        port_size = codecs["dstport"].domain_size
+        counts = np.zeros((port_size, 3))
+        counts[21] = [80.0, 20.0, 0.0]
+        m = Marginal(("dstport", "proto"), counts)
+        out = rule.apply(m, codecs)
+        assert np.allclose(out.counts[21], [80.0, 20.0, 0.0])
+
+    def test_build_default_rules(self):
+        schema = Schema(
+            fields=(
+                FieldSpec("dstport", FieldKind.PORT),
+                FieldSpec("proto", FieldKind.CATEGORICAL, categories=("TCP", "UDP")),
+                FieldSpec("pkt", FieldKind.NUMERIC),
+                FieldSpec("byt", FieldKind.NUMERIC),
+            )
+        )
+        rules = build_default_rules(schema)
+        kinds = {type(r) for r in rules}
+        assert ComparisonRule in kinds
+        assert ImplicationRule in kinds
+
+
+class TestPostprocess:
+    def test_end_to_end_validity(self):
+        codecs = _codecs()
+        rng = np.random.default_rng(5)
+        shape = (codecs["byt"].domain_size, codecs["pkt"].domain_size)
+        noisy = Marginal(
+            ("byt", "pkt"), rng.normal(10, 5, size=shape), rho=0.1, sigma=1.0
+        )
+        out = postprocess_marginals(
+            [noisy], codecs, rules=[ComparisonRule("byt", "pkt", ">=")]
+        )
+        assert (out[0].counts >= -1e-9).all()

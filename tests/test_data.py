@@ -1,0 +1,170 @@
+"""Unit tests for the data model (schema, table, domain, io)."""
+
+import numpy as np
+import pytest
+
+from repro.data import Domain, FieldKind, FieldSpec, Schema, TraceTable, read_csv, write_csv
+
+
+@pytest.fixture
+def flow_schema():
+    return Schema(
+        fields=(
+            FieldSpec("srcip", FieldKind.IP),
+            FieldSpec("dstport", FieldKind.PORT),
+            FieldSpec("proto", FieldKind.CATEGORICAL, categories=("TCP", "UDP")),
+            FieldSpec("ts", FieldKind.TIMESTAMP),
+            FieldSpec("pkt", FieldKind.NUMERIC),
+            FieldSpec("label", FieldKind.CATEGORICAL, categories=("a", "b"), is_label=True),
+        ),
+        kind="flow",
+    )
+
+
+@pytest.fixture
+def small_table(flow_schema):
+    return TraceTable(
+        flow_schema,
+        {
+            "srcip": np.array([1, 2, 1, 3]),
+            "dstport": np.array([80, 443, 80, 53]),
+            "proto": np.array(["TCP", "TCP", "TCP", "UDP"], dtype=object),
+            "ts": np.array([0.0, 1.0, 2.0, 3.0]),
+            "pkt": np.array([5, 1, 9, 2]),
+            "label": np.array(["a", "b", "a", "a"], dtype=object),
+        },
+    )
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Schema(fields=(FieldSpec("x", FieldKind.NUMERIC), FieldSpec("x", FieldKind.NUMERIC)))
+
+    def test_categorical_requires_categories(self):
+        with pytest.raises(ValueError):
+            FieldSpec("c", FieldKind.CATEGORICAL)
+
+    def test_non_categorical_rejects_categories(self):
+        with pytest.raises(ValueError):
+            FieldSpec("n", FieldKind.NUMERIC, categories=(1, 2))
+
+    def test_label_field(self, flow_schema):
+        assert flow_schema.label_field.name == "label"
+
+    def test_contains_getitem(self, flow_schema):
+        assert "srcip" in flow_schema
+        assert flow_schema["pkt"].kind is FieldKind.NUMERIC
+        with pytest.raises(KeyError):
+            flow_schema["nope"]
+
+    def test_with_without_field(self, flow_schema):
+        extended = flow_schema.with_field(FieldSpec("extra", FieldKind.NUMERIC))
+        assert "extra" in extended
+        shrunk = extended.without_field("extra")
+        assert "extra" not in shrunk
+
+    def test_effective_flow_key_subset(self, flow_schema):
+        assert flow_schema.effective_flow_key() == ("srcip", "dstport", "proto")
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            Schema(fields=(FieldSpec("x", FieldKind.NUMERIC),), kind="stream")
+
+
+class TestTraceTable:
+    def test_length_and_columns(self, small_table):
+        assert len(small_table) == 4
+        assert np.array_equal(small_table["dstport"], [80, 443, 80, 53])
+
+    def test_ragged_columns_rejected(self, flow_schema):
+        with pytest.raises(ValueError):
+            TraceTable(flow_schema, {n: np.arange(3 + i) for i, n in enumerate(flow_schema.names)})
+
+    def test_missing_column_rejected(self, flow_schema, small_table):
+        cols = small_table.columns()
+        del cols["pkt"]
+        with pytest.raises(ValueError):
+            TraceTable(flow_schema, cols)
+
+    def test_filter_take(self, small_table):
+        subset = small_table.filter(np.array([True, False, True, False]))
+        assert len(subset) == 2
+        assert np.array_equal(subset["srcip"], [1, 1])
+
+    def test_with_column_replace(self, small_table):
+        replaced = small_table.with_column("pkt", np.array([1, 1, 1, 1]))
+        assert replaced["pkt"].sum() == 4
+        assert small_table["pkt"].sum() == 17  # original untouched
+
+    def test_with_new_column_requires_spec(self, small_table):
+        with pytest.raises(ValueError):
+            small_table.with_column("new", np.zeros(4))
+        added = small_table.with_column(
+            "new", np.zeros(4), FieldSpec("new", FieldKind.NUMERIC)
+        )
+        assert "new" in added.schema
+
+    def test_sort_by(self, small_table):
+        ordered = small_table.sort_by("pkt")
+        assert list(ordered["pkt"]) == [1, 2, 5, 9]
+
+    def test_concat(self, small_table):
+        doubled = small_table.concat(small_table)
+        assert len(doubled) == 8
+
+    def test_group_ids_mixed_types(self, small_table):
+        ids = small_table.group_ids(["srcip", "proto"])
+        assert ids[0] == ids[2]  # same (1, TCP)
+        assert ids[0] != ids[1]
+
+    def test_group_ids_count(self, small_table):
+        ids = small_table.group_ids(["srcip"])
+        assert len(np.unique(ids)) == 3
+
+    def test_feature_matrix_encodes_categoricals(self, small_table):
+        X, names = small_table.feature_matrix(exclude=("label",))
+        assert X.shape == (4, 5)
+        assert "label" not in names
+        proto_col = X[:, names.index("proto")]
+        assert set(proto_col) <= {0.0, 1.0}
+
+    def test_head_shuffle(self, small_table):
+        assert len(small_table.head(2)) == 2
+        shuffled = small_table.shuffle(np.random.default_rng(0))
+        assert sorted(shuffled["pkt"]) == sorted(small_table["pkt"])
+
+
+class TestDomain:
+    def test_basic(self):
+        d = Domain({"a": 3, "b": 4})
+        assert d.size("a") == 3
+        assert d.shape(("b", "a")) == (4, 3)
+        assert d.cells(("a", "b")) == 12
+        assert d.total_size() == 7
+
+    def test_project_and_eq(self):
+        d = Domain({"a": 3, "b": 4, "c": 2})
+        assert d.project(["a", "c"]) == Domain({"a": 3, "c": 2})
+
+    def test_rejects_empty_size(self):
+        with pytest.raises(ValueError):
+            Domain({"a": 0})
+
+
+class TestCsvIo:
+    def test_roundtrip(self, small_table, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(small_table, path)
+        loaded = read_csv(path, small_table.schema)
+        assert len(loaded) == len(small_table)
+        assert np.array_equal(loaded["dstport"], small_table["dstport"])
+        assert list(loaded["proto"]) == list(small_table["proto"])
+        assert np.allclose(loaded["ts"], small_table["ts"])
+
+    def test_header_mismatch_rejected(self, small_table, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(small_table, path)
+        other_schema = small_table.schema.without_field("pkt")
+        with pytest.raises(ValueError):
+            read_csv(path, other_schema)

@@ -1,0 +1,144 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import FieldKind
+from repro.datasets import DATASET_INFO, get_generator, load_dataset
+from repro.datasets.packets import draw_flow_sizes, expand_flows
+
+ALL = ("ton", "ugr16", "cidds", "caida", "dc")
+
+
+class TestRegistry:
+    def test_all_datasets_load(self):
+        for name in ALL:
+            table = load_dataset(name, n_records=500, seed=0)
+            assert len(table) == 500
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("darpa")
+
+    def test_determinism(self):
+        a = load_dataset("ton", n_records=300, seed=5)
+        b = load_dataset("ton", n_records=300, seed=5)
+        for name in a.schema.names:
+            assert np.array_equal(np.asarray(a[name]), np.asarray(b[name]))
+
+    def test_different_seeds_differ(self):
+        a = load_dataset("ton", n_records=300, seed=5)
+        b = load_dataset("ton", n_records=300, seed=6)
+        assert not np.array_equal(np.asarray(a["srcip"]), np.asarray(b["srcip"]))
+
+    def test_info_matches_table5(self):
+        assert DATASET_INFO["ton"]["records"] == 295_497
+        assert DATASET_INFO["caida"]["type"] == "packet"
+
+
+class TestSchemas:
+    def test_attribute_counts_match_table5(self):
+        for name in ALL:
+            generator = get_generator(name)
+            assert len(generator.schema()) == DATASET_INFO[name]["attributes"], name
+
+    def test_flow_vs_packet_kinds(self):
+        for name in ALL:
+            table = load_dataset(name, n_records=100, seed=0)
+            assert table.schema.kind == DATASET_INFO[name]["type"]
+
+    def test_labels_present(self):
+        for name in ALL:
+            table = load_dataset(name, n_records=100, seed=0)
+            assert table.schema.label_field is not None
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("name", ["ton", "ugr16", "cidds"])
+    def test_flow_invariants(self, name):
+        table = load_dataset(name, n_records=2000, seed=1)
+        pkt = np.asarray(table["pkt"])
+        byt = np.asarray(table["byt"])
+        td = np.asarray(table["td"])
+        assert (pkt >= 1).all()
+        assert (byt >= pkt).all()
+        assert (td >= 0).all()
+        assert (np.asarray(table["srcport"]) < 65536).all()
+        assert (np.asarray(table["dstport"]) < 65536).all()
+
+    @pytest.mark.parametrize("name", ["caida", "dc"])
+    def test_packet_invariants(self, name):
+        table = load_dataset(name, n_records=2000, seed=1)
+        assert (np.asarray(table["pkt_len"]) >= 40).all()
+        assert (np.asarray(table["ttl"]) > 0).all()
+        ts = np.asarray(table["ts"])
+        assert (np.diff(ts) >= 0).all()  # packet traces are time-sorted
+
+    def test_ton_label_distribution(self):
+        table = load_dataset("ton", n_records=5000, seed=2)
+        types, counts = np.unique(table["type"], return_counts=True)
+        assert "normal" in types
+        normal_frac = counts[list(types).index("normal")] / 5000
+        assert 0.45 < normal_frac < 0.65
+
+    def test_ton_attacks_arrive_late(self):
+        table = load_dataset("ton", n_records=5000, seed=2)
+        ts = np.asarray(table["ts"])
+        labels = np.asarray(table["type"])
+        attack_ts = ts[labels != "normal"]
+        span = ts.max()
+        assert attack_ts.min() > 0.5 * span
+
+    def test_ugr16_imbalance(self):
+        table = load_dataset("ugr16", n_records=20000, seed=3)
+        frac = np.mean(np.asarray(table["label"]) == "malicious")
+        assert frac < 0.02  # predicting all-benign is ~0.99+ accurate
+
+    def test_ugr16_ftp_udp_anomaly_exists(self):
+        # Footnote 1: a few FTP (port 21) flows ride UDP.
+        table = load_dataset("ugr16", n_records=50000, seed=4)
+        dstport = np.asarray(table["dstport"])
+        proto = np.asarray(table["proto"])
+        ftp = dstport == 21
+        assert ftp.any()
+        assert (proto[ftp] == "UDP").any()
+
+    def test_caida_srcip_heavy_hitters(self):
+        table = load_dataset("caida", n_records=20000, seed=5)
+        _, counts = np.unique(table["srcip"], return_counts=True)
+        top_share = counts.max() / 20000
+        assert top_share > 0.001  # 0.1% threshold used in Fig. 2
+
+    def test_dc_dstip_heavy_hitters(self):
+        table = load_dataset("dc", n_records=20000, seed=5)
+        _, counts = np.unique(table["dstip"], return_counts=True)
+        assert counts.max() / 20000 > 0.01
+
+    def test_dc_bimodal_packet_sizes(self):
+        table = load_dataset("dc", n_records=10000, seed=6)
+        sizes = np.asarray(table["pkt_len"])
+        small = np.mean(sizes < 200)
+        large = np.mean(sizes > 1200)
+        assert small > 0.2
+        assert large > 0.2
+
+    def test_packet_flows_have_structure(self):
+        table = load_dataset("caida", n_records=10000, seed=7)
+        groups = table.group_ids(table.schema.effective_flow_key())
+        sizes = np.bincount(groups)
+        assert (sizes >= 2).sum() > 100  # plenty of multi-packet flows
+
+
+class TestPacketHelpers:
+    def test_draw_flow_sizes_sums_exactly(self):
+        rng = np.random.default_rng(8)
+        for n in (10, 999, 5000):
+            sizes = draw_flow_sizes(rng, n)
+            assert sizes.sum() == n
+            assert (sizes >= 1).all()
+
+    def test_expand_flows_positions(self):
+        sizes = np.array([3, 1, 2])
+        flow_idx, position = expand_flows(sizes)
+        assert list(flow_idx) == [0, 0, 0, 1, 2, 2]
+        assert list(position) == [0, 1, 2, 0, 0, 1]

@@ -1,0 +1,176 @@
+"""Unit tests for the DP primitives (accounting, mechanisms, allocation, RDP)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp import (
+    BudgetLedger,
+    RdpAccountant,
+    eps_delta_to_rho,
+    exponential_mechanism,
+    gaussian_mechanism,
+    gaussian_sigma,
+    rho_to_eps,
+    split_budget,
+    weighted_marginal_budgets,
+)
+from repro.dp.allocation import uniform_marginal_budgets
+
+
+class TestZcdpConversion:
+    def test_roundtrip_exact(self):
+        rho = eps_delta_to_rho(2.0, 1e-5)
+        assert rho_to_eps(rho, 1e-5) == pytest.approx(2.0, rel=1e-9)
+
+    def test_paper_budget_magnitude(self):
+        # epsilon=2, delta=1e-5 (the paper's default) gives rho ~ 0.08.
+        rho = eps_delta_to_rho(2.0, 1e-5)
+        assert 0.05 < rho < 0.12
+
+    def test_monotone_in_epsilon(self):
+        assert eps_delta_to_rho(1.0, 1e-5) < eps_delta_to_rho(4.0, 1e-5)
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            eps_delta_to_rho(1.0, 1.5)
+        with pytest.raises(ValueError):
+            rho_to_eps(0.1, 0.0)
+
+    @given(
+        st.floats(min_value=0.01, max_value=100.0),
+        st.floats(min_value=1e-10, max_value=0.1),
+    )
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, eps, delta):
+        rho = eps_delta_to_rho(eps, delta)
+        assert rho_to_eps(rho, delta) == pytest.approx(eps, rel=1e-6)
+
+
+class TestBudgetLedger:
+    def test_spend_and_remaining(self):
+        ledger = BudgetLedger(1.0)
+        ledger.spend(0.4, "a")
+        assert ledger.remaining == pytest.approx(0.6)
+        assert ledger.entries() == [("a", 0.4)]
+
+    def test_overdraw_raises(self):
+        ledger = BudgetLedger(1.0)
+        ledger.spend(0.9)
+        with pytest.raises(RuntimeError):
+            ledger.spend(0.2)
+
+    def test_float_drift_tolerated(self):
+        ledger = BudgetLedger(1.0)
+        for _ in range(10):
+            ledger.spend(0.1)
+        assert ledger.remaining == pytest.approx(0.0, abs=1e-9)
+
+    def test_from_eps_delta(self):
+        ledger = BudgetLedger.from_eps_delta(2.0, 1e-5)
+        assert ledger.total == pytest.approx(eps_delta_to_rho(2.0, 1e-5))
+
+
+class TestGaussianMechanism:
+    def test_sigma_formula(self):
+        # rho = Delta^2 / (2 sigma^2)  =>  sigma = sqrt(1/(2 rho)).
+        assert gaussian_sigma(1.0, 0.5) == pytest.approx(1.0)
+        assert gaussian_sigma(2.0, 0.5) == pytest.approx(2.0)
+
+    def test_noise_scale_statistics(self):
+        rng = np.random.default_rng(0)
+        values = np.zeros(20000)
+        noisy = gaussian_mechanism(values, 1.0, 0.5, rng)
+        assert noisy.std() == pytest.approx(1.0, rel=0.05)
+
+    def test_unbiased(self):
+        rng = np.random.default_rng(1)
+        noisy = gaussian_mechanism(np.full(50000, 7.0), 1.0, 2.0, rng)
+        assert noisy.mean() == pytest.approx(7.0, abs=0.02)
+
+    def test_preserves_shape(self):
+        out = gaussian_mechanism(np.zeros((3, 4)), 1.0, 1.0, 0)
+        assert out.shape == (3, 4)
+
+
+class TestExponentialMechanism:
+    def test_prefers_high_scores(self):
+        rng = np.random.default_rng(2)
+        scores = np.array([0.0, 0.0, 100.0])
+        picks = [exponential_mechanism(scores, 1.0, 1.0, rng) for _ in range(200)]
+        assert np.mean(np.array(picks) == 2) > 0.95
+
+    def test_uniform_when_scores_equal(self):
+        rng = np.random.default_rng(3)
+        picks = [
+            exponential_mechanism(np.zeros(4), 1.0, 1.0, rng) for _ in range(2000)
+        ]
+        counts = np.bincount(picks, minlength=4)
+        assert counts.min() > 350
+
+
+class TestAllocation:
+    def test_split_budget_default(self):
+        parts = split_budget(1.0)
+        assert parts == pytest.approx({"binning": 0.1, "selection": 0.1, "publish": 0.8})
+
+    def test_split_budget_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            split_budget(1.0, {"a": 0.5, "b": 0.6})
+
+    def test_weighted_budgets_sum(self):
+        budgets = weighted_marginal_budgets(2.0, [10, 100, 1000])
+        assert budgets.sum() == pytest.approx(2.0)
+
+    def test_weighted_budgets_proportional_to_c23(self):
+        budgets = weighted_marginal_budgets(1.0, [8, 64])
+        # (8^{2/3}, 64^{2/3}) = (4, 16) -> ratio 1:4.
+        assert budgets[1] / budgets[0] == pytest.approx(4.0)
+
+    def test_uniform_budgets(self):
+        budgets = uniform_marginal_budgets(1.0, 4)
+        assert np.allclose(budgets, 0.25)
+
+    @given(st.lists(st.integers(min_value=1, max_value=10**6), min_size=1, max_size=20))
+    @settings(max_examples=50)
+    def test_weighted_conservation_property(self, cells):
+        budgets = weighted_marginal_budgets(0.8, cells)
+        assert budgets.sum() == pytest.approx(0.8)
+        assert (budgets > 0).all()
+
+
+class TestRdpAccountant:
+    def test_more_steps_more_epsilon(self):
+        a, b = RdpAccountant(), RdpAccountant()
+        a.step(1.0, 0.01, num_steps=10)
+        b.step(1.0, 0.01, num_steps=1000)
+        assert b.get_epsilon(1e-5) > a.get_epsilon(1e-5)
+
+    def test_more_noise_less_epsilon(self):
+        a, b = RdpAccountant(), RdpAccountant()
+        a.step(0.5, 0.01, num_steps=100)
+        b.step(4.0, 0.01, num_steps=100)
+        assert b.get_epsilon(1e-5) < a.get_epsilon(1e-5)
+
+    def test_subsampling_amplifies(self):
+        full, sampled = RdpAccountant(), RdpAccountant()
+        full.step(1.0, 1.0, num_steps=10)
+        sampled.step(1.0, 0.01, num_steps=10)
+        assert sampled.get_epsilon(1e-5) < full.get_epsilon(1e-5)
+
+    def test_noise_multiplier_inversion(self):
+        sigma = RdpAccountant.noise_multiplier_for(2.0, 1e-5, 0.02, 200)
+        acct = RdpAccountant()
+        acct.step(sigma, 0.02, num_steps=200)
+        assert acct.get_epsilon(1e-5) <= 2.0 * 1.01
+
+    def test_huge_epsilon_small_sigma(self):
+        sigma = RdpAccountant.noise_multiplier_for(1e10, 1e-5, 0.02, 100)
+        assert sigma < 0.1  # nearly no noise needed
+
+    def test_tiny_epsilon_large_sigma(self):
+        sigma = RdpAccountant.noise_multiplier_for(0.5, 1e-5, 0.02, 500)
+        assert sigma > 1.0

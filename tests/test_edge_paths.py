@@ -1,0 +1,127 @@
+"""Edge-path tests: small behaviours not covered by the main suites."""
+
+import numpy as np
+import pytest
+
+from repro.binning import CategoricalCodec, MergedCodec, PortCodec, merge_codec
+from repro.data.schema import FieldKind, FieldSpec, Schema
+from repro.data.table import TraceTable
+from repro.marginals.marginal import Marginal
+from repro.nn.layers import Dense
+from repro.synthesis.gum import GumConfig, GumResult
+
+
+class TestTraceTableEdges:
+    def _table(self):
+        schema = Schema(
+            fields=(
+                FieldSpec("a", FieldKind.NUMERIC),
+                FieldSpec("b", FieldKind.CATEGORICAL, categories=("x", "y")),
+            ),
+            flow_key=(),
+        )
+        return TraceTable(
+            schema, {"a": np.array([1, 2]), "b": np.array(["x", "y"], dtype=object)}
+        )
+
+    def test_to_records(self):
+        records = self._table().to_records()
+        assert records == [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+
+    def test_without_column(self):
+        table = self._table().without_column("a")
+        assert table.schema.names == ("b",)
+
+    def test_spec_name_mismatch_rejected(self):
+        table = self._table()
+        with pytest.raises(ValueError):
+            table.with_column("c", np.zeros(2), FieldSpec("wrong", FieldKind.NUMERIC))
+
+    def test_concat_schema_mismatch(self):
+        table = self._table()
+        other = table.without_column("a")
+        with pytest.raises(ValueError):
+            table.concat(other)
+
+    def test_empty_feature_matrix(self):
+        table = self._table()
+        X, names = table.feature_matrix(exclude=("a", "b"))
+        assert X.shape == (2, 0)
+        assert names == []
+
+
+class TestMergedCodecEdges:
+    def test_decode_empty_codes(self):
+        base = CategoricalCodec("c", ("a", "b", "rare1", "rare2"))
+        merged = merge_codec(base, np.array([10.0, 10.0, 0.1, 0.1]), threshold=5.0)
+        out = merged.decode_bins(np.array([], dtype=np.int64), np.random.default_rng(0))
+        assert len(out) == 0
+
+    def test_metadata_alignment_validated(self):
+        base = CategoricalCodec("c", ("a", "b"))
+        with pytest.raises(ValueError):
+            MergedCodec(base, np.array([0, 1]), [np.array([0])], [], [])
+
+    def test_base_map_length_validated(self):
+        base = CategoricalCodec("c", ("a", "b"))
+        with pytest.raises(ValueError):
+            MergedCodec(base, np.array([0]), [np.array([0])], [np.array([1.0])], [None])
+
+    def test_port_singleton_group_decode(self):
+        codec = PortCodec("p", common_max=16, bin_width=10, coarse_width=100)
+        out = codec.decode_group(-1 - 7, np.array([7]), 5, np.random.default_rng(0))
+        assert (out == 7).all()
+
+    def test_bin_bounds_span_members(self):
+        base = PortCodec("p", common_max=16, bin_width=10, coarse_width=100)
+        counts = np.ones(base.domain_size)
+        merged = merge_codec(base, counts, threshold=1000.0, min_bins=1)
+        lo, hi = merged.bin_bounds()
+        assert (hi > lo).all()
+
+
+class TestMarginalEdges:
+    def test_normalize_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            Marginal(("a",), np.zeros(3)).normalized()
+
+    def test_scale_to_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            Marginal(("a",), np.zeros(3)).scale_to(5.0)
+
+    def test_l1_misaligned_rejected(self):
+        a = Marginal(("a",), np.ones(2))
+        b = Marginal(("b",), np.ones(2))
+        with pytest.raises(ValueError):
+            a.l1_distance(b)
+
+
+class TestNnEdges:
+    def test_backward_before_forward_raises(self):
+        layer = Dense(2, 2, np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_per_example_before_backward_raises(self):
+        layer = Dense(2, 2, np.random.default_rng(0))
+        layer.forward(np.zeros((1, 2)))
+        with pytest.raises(RuntimeError):
+            layer.per_example_grads()
+
+    def test_inference_forward_keeps_no_cache(self):
+        layer = Dense(2, 2, np.random.default_rng(0))
+        layer.forward(np.zeros((1, 2)), training=False)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+
+class TestGumEdges:
+    def test_result_defaults(self):
+        result = GumResult(data=np.zeros((1, 1), dtype=np.int32))
+        assert result.errors == []
+        assert result.iterations_run == 0
+
+    def test_config_defaults_paper_aligned(self):
+        config = GumConfig()
+        assert config.duplicate_fraction == 0.5
+        assert 0 < config.alpha_decay < 1

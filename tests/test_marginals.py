@@ -1,0 +1,209 @@
+"""Unit tests for marginal computation, InDif, DenseMarg, combining, publishing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.binning import DatasetEncoder, EncoderConfig
+from repro.data.domain import Domain
+from repro.datasets import load_dataset
+from repro.marginals import (
+    Marginal,
+    combine_attr_sets,
+    compute_marginal,
+    cover_all_attributes,
+    independent_difference,
+    marginal_counts,
+    noisy_indif_scores,
+    publish_marginals,
+    select_pairs,
+)
+
+
+@pytest.fixture(scope="module")
+def encoded():
+    table = load_dataset("ton", n_records=1200, seed=11)
+    encoder = DatasetEncoder(EncoderConfig()).fit(table, rho=0.05, rng=13)
+    return encoder.encode(table)
+
+
+class TestMarginal:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Marginal(("a", "b"), np.zeros(4))
+
+    def test_project_sums_out(self):
+        m = Marginal(("a", "b"), np.array([[1.0, 2.0], [3.0, 4.0]]))
+        pa = m.project(("a",))
+        assert np.allclose(pa.counts, [3.0, 7.0])
+        pb = m.project(("b",))
+        assert np.allclose(pb.counts, [4.0, 6.0])
+
+    def test_project_reorders_axes(self):
+        m = Marginal(("a", "b"), np.arange(6.0).reshape(2, 3))
+        swapped = m.project(("b", "a"))
+        assert swapped.shape == (3, 2)
+        assert np.allclose(swapped.counts, m.counts.T)
+
+    def test_project_unknown_attr(self):
+        m = Marginal(("a",), np.ones(2))
+        with pytest.raises(KeyError):
+            m.project(("zzz",))
+
+    def test_normalized(self):
+        m = Marginal(("a",), np.array([1.0, 3.0]))
+        assert np.allclose(m.normalized(), [0.25, 0.75])
+
+    def test_scale_to(self):
+        m = Marginal(("a",), np.array([1.0, 1.0]))
+        assert m.scale_to(10.0).total == pytest.approx(10.0)
+
+    def test_l1_distance(self):
+        a = Marginal(("x",), np.array([1.0, 2.0]))
+        b = Marginal(("x",), np.array([2.0, 0.0]))
+        assert a.l1_distance(b) == pytest.approx(3.0)
+
+
+class TestComputeMarginal:
+    def test_counts_sum_to_n(self, encoded):
+        m = compute_marginal(encoded, ("proto", "type"))
+        assert m.total == pytest.approx(encoded.n_records)
+
+    def test_matches_manual_bincount(self, encoded):
+        m = compute_marginal(encoded, ("proto",))
+        manual = np.bincount(encoded.column("proto"), minlength=encoded.domain.size("proto"))
+        assert np.array_equal(m.counts, manual)
+
+    def test_marginal_counts_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            marginal_counts(np.zeros((5, 2), dtype=int), (3,))
+
+    def test_empty_data(self):
+        out = marginal_counts(np.empty((0, 2), dtype=int), (2, 3))
+        assert out.shape == (2, 3)
+        assert out.sum() == 0
+
+
+class TestInDif:
+    def test_independent_attrs_score_low(self):
+        rng = np.random.default_rng(0)
+        n = 4000
+        data = np.stack([rng.integers(0, 4, n), rng.integers(0, 4, n)], axis=1)
+
+        class Fake:
+            attrs = ("a", "b")
+            domain = Domain({"a": 4, "b": 4})
+
+            def project(self, attrs):
+                idx = [("a", "b").index(x) for x in attrs]
+                return data[:, idx]
+
+        fake = Fake()
+        score = independent_difference(fake, "a", "b")
+        # Perfectly correlated copy for contrast.
+        data2 = np.stack([data[:, 0], data[:, 0]], axis=1)
+
+        class Fake2(Fake):
+            def project(self, attrs):
+                idx = [("a", "b").index(x) for x in attrs]
+                return data2[:, idx]
+
+        assert independent_difference(Fake2(), "a", "b") > 10 * score
+
+    def test_label_pairs_rank_high(self, encoded):
+        scores = noisy_indif_scores(encoded, rho=None, rng=1)
+        ranked = sorted(scores, key=scores.get, reverse=True)
+        top_attrs = {a for pair in ranked[:8] for a in pair}
+        assert "type" in top_attrs  # label correlations dominate TON
+
+    def test_noise_applied(self, encoded):
+        exact = noisy_indif_scores(encoded, rho=None, rng=1)
+        noisy = noisy_indif_scores(encoded, rho=0.01, rng=1)
+        diffs = [abs(exact[p] - noisy[p]) for p in exact]
+        assert max(diffs) > 0
+
+    def test_scores_non_negative(self, encoded):
+        noisy = noisy_indif_scores(encoded, rho=0.001, rng=2)
+        assert all(v >= 0 for v in noisy.values())
+
+
+class TestDenseMarg:
+    def test_strong_dependencies_selected_first(self):
+        indif = {("a", "b"): 1000.0, ("a", "c"): 900.0, ("b", "c"): 1.0}
+        cells = {("a", "b"): 100, ("a", "c"): 100, ("b", "c"): 100}
+        result = select_pairs(indif, cells, rho_publish=0.1)
+        assert ("a", "b") in result.pairs
+        assert ("a", "c") in result.pairs
+
+    def test_tiny_budget_selects_nothing_weak(self):
+        indif = {("a", "b"): 0.5}
+        cells = {("a", "b"): 10**6}
+        result = select_pairs(indif, cells, rho_publish=1e-6)
+        assert result.pairs == []
+        assert result.dependency_error == pytest.approx(0.5)
+
+    def test_max_pairs_cap(self):
+        indif = {(f"a{i}", f"b{i}"): 100.0 for i in range(10)}
+        cells = {p: 10 for p in indif}
+        result = select_pairs(indif, cells, rho_publish=1.0, max_pairs=3)
+        assert len(result.pairs) == 3
+
+    def test_error_accounting(self):
+        indif = {("a", "b"): 100.0, ("c", "d"): 50.0}
+        cells = {("a", "b"): 10, ("c", "d"): 10}
+        result = select_pairs(indif, cells, rho_publish=10.0)
+        assert result.total_error <= 150.0  # selecting must not hurt
+
+    def test_missing_cells_raises(self):
+        with pytest.raises(KeyError):
+            select_pairs({("a", "b"): 1.0}, {}, rho_publish=1.0)
+
+
+class TestCombine:
+    def test_overlapping_pairs_merge(self):
+        domain = Domain({"a": 4, "b": 4, "c": 4})
+        sets = combine_attr_sets([("a", "b"), ("b", "c")], domain, max_cells=1000)
+        assert sets == [("a", "b", "c")]
+
+    def test_oversized_union_not_merged(self):
+        domain = Domain({"a": 100, "b": 100, "c": 100})
+        sets = combine_attr_sets([("a", "b"), ("b", "c")], domain, max_cells=10_000)
+        assert len(sets) == 2
+
+    def test_disjoint_pairs_kept(self):
+        domain = Domain({"a": 2, "b": 2, "c": 2, "d": 2})
+        sets = combine_attr_sets([("a", "b"), ("c", "d")], domain, max_cells=100)
+        assert len(sets) == 2
+
+    def test_cover_all_attributes(self):
+        domain = Domain({"a": 2, "b": 2, "c": 2})
+        sets = cover_all_attributes([("a", "b")], domain)
+        assert ("c",) in sets
+
+
+class TestPublish:
+    def test_budget_split_and_sigma(self, encoded):
+        marginals = publish_marginals(encoded, [("proto",), ("proto", "type")], 0.1, rng=3)
+        assert sum(m.rho for m in marginals) == pytest.approx(0.1)
+        big, small = marginals[1], marginals[0]
+        # Weighted allocation: larger marginal gets more budget.
+        assert big.rho > small.rho
+
+    def test_exact_mode(self, encoded):
+        marginals = publish_marginals(encoded, [("proto",)], None, rng=3)
+        assert marginals[0].rho is None
+        assert marginals[0].total == pytest.approx(encoded.n_records)
+
+    def test_noise_magnitude(self, encoded):
+        m = publish_marginals(encoded, [("proto",)], 0.5, rng=3)[0]
+        exact = compute_marginal(encoded, ("proto",))
+        assert m.l1_distance(exact) > 0
+        assert abs(m.total - exact.total) < 100  # noise, not distortion
+
+    @given(st.integers(min_value=1, max_value=10**5))
+    @settings(max_examples=20)
+    def test_sigma_decreases_with_rho_property(self, cells):
+        from repro.dp.mechanisms import gaussian_sigma
+
+        assert gaussian_sigma(1.0, 0.8) < gaussian_sigma(1.0, 0.1)

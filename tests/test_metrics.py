@@ -1,0 +1,148 @@
+"""Unit tests for the fidelity metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    earth_movers_distance,
+    jensen_shannon_divergence,
+    normalize_emds,
+    relative_error,
+    spearman_rank_correlation,
+    total_variation,
+)
+from repro.metrics.error import mean_relative_error
+
+
+class TestJsd:
+    def test_identical_distributions_zero(self):
+        a = ["x", "y", "x", "z"]
+        assert jensen_shannon_divergence(a, list(a)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_disjoint_distributions_one(self):
+        assert jensen_shannon_divergence(["a"] * 10, ["b"] * 10) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        a = ["x"] * 8 + ["y"] * 2
+        b = ["x"] * 3 + ["y"] * 7
+        assert jensen_shannon_divergence(a, b) == pytest.approx(
+            jensen_shannon_divergence(b, a)
+        )
+
+    def test_bounded(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 5, 100)
+        b = rng.integers(0, 8, 100)
+        assert 0.0 <= jensen_shannon_divergence(a, b) <= 1.0
+
+    def test_works_on_integers(self):
+        assert jensen_shannon_divergence([1, 1, 2], [1, 1, 2]) == pytest.approx(0.0)
+
+
+class TestEmd:
+    def test_identical_zero(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert earth_movers_distance(a, a) == pytest.approx(0.0)
+
+    def test_constant_shift(self):
+        a = np.array([0.0, 1.0, 2.0])
+        assert earth_movers_distance(a, a + 5.0) == pytest.approx(5.0)
+
+    def test_point_masses(self):
+        assert earth_movers_distance([0.0], [3.0]) == pytest.approx(3.0)
+
+    def test_matches_scipy(self):
+        from scipy.stats import wasserstein_distance
+
+        rng = np.random.default_rng(1)
+        a = rng.exponential(2.0, 300)
+        b = rng.exponential(3.0, 200)
+        assert earth_movers_distance(a, b) == pytest.approx(
+            wasserstein_distance(a, b), rel=1e-9
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            earth_movers_distance([], [1.0])
+
+    @given(
+        st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=30),
+        st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=30),
+    )
+    @settings(max_examples=50)
+    def test_non_negative_symmetric_property(self, a, b):
+        d1 = earth_movers_distance(a, b)
+        d2 = earth_movers_distance(b, a)
+        assert d1 >= 0
+        assert d1 == pytest.approx(d2, abs=1e-9)
+
+
+class TestTotalVariation:
+    def test_bounds(self):
+        assert total_variation(["a"] * 5, ["a"] * 5) == pytest.approx(0.0)
+        assert total_variation(["a"] * 5, ["b"] * 5) == pytest.approx(1.0)
+
+
+class TestNormalizeEmds:
+    def test_range_mapping(self):
+        scaled = normalize_emds({"a": 0.0, "b": 5.0, "c": 10.0})
+        assert scaled["a"] == pytest.approx(0.1)
+        assert scaled["b"] == pytest.approx(0.5)
+        assert scaled["c"] == pytest.approx(0.9)
+
+    def test_degenerate_all_equal(self):
+        scaled = normalize_emds({"a": 3.0, "b": 3.0})
+        assert scaled["a"] == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert normalize_emds({}) == {}
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(12.0, 10.0) == pytest.approx(0.2)
+
+    def test_zero_raw_guarded(self):
+        assert relative_error(1.0, 0.0) > 0
+
+    def test_mean_relative_error(self):
+        assert mean_relative_error([2.0, 4.0], [1.0, 2.0]) == pytest.approx(1.0)
+
+    def test_mean_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_relative_error([1.0], [1.0, 2.0])
+
+
+class TestSpearman:
+    def test_perfect_agreement(self):
+        assert spearman_rank_correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert spearman_rank_correlation([1, 2, 3], [30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_matches_scipy(self):
+        from scipy.stats import spearmanr
+
+        rng = np.random.default_rng(2)
+        a = rng.random(20)
+        b = rng.random(20)
+        assert spearman_rank_correlation(a, b) == pytest.approx(
+            spearmanr(a, b).statistic, rel=1e-9
+        )
+
+    def test_ties_handled(self):
+        from scipy.stats import spearmanr
+
+        a = [1.0, 1.0, 2.0, 3.0]
+        b = [4.0, 4.0, 5.0, 5.0]
+        assert spearman_rank_correlation(a, b) == pytest.approx(
+            spearmanr(a, b).statistic, rel=1e-9
+        )
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            spearman_rank_correlation([1], [1, 2])
+        with pytest.raises(ValueError):
+            spearman_rank_correlation([1], [2])

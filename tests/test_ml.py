@@ -1,0 +1,242 @@
+"""Unit tests for the from-scratch ML substrate."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    GradientBoostingClassifier,
+    LabelEncoder,
+    LogisticRegressionClassifier,
+    MlpClassifier,
+    OneClassSVM,
+    RandomForestClassifier,
+    StandardScaler,
+    accuracy_score,
+    build_classifier,
+    confusion_matrix,
+    train_test_split,
+)
+from repro.ml.model_zoo import PAPER_MODELS
+
+
+def _blobs(n=600, seed=0, k=3):
+    """Well-separated Gaussian blobs."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0, 10, size=(k, 4))
+    y = rng.integers(0, k, n)
+    X = centers[y] + rng.normal(0, 1.0, size=(n, 4))
+    return X, y
+
+
+def _xor(n=800, seed=1):
+    """The classic non-linear XOR problem."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+class TestSplit:
+    def test_sizes(self):
+        X, y = _blobs(100)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, 0.2, rng=0)
+        assert len(Xte) == 20
+        assert len(Xtr) == 80
+
+    def test_no_overlap_covers_all(self):
+        X, y = _blobs(50)
+        X = X + np.arange(50)[:, None] * 1000  # make rows unique
+        Xtr, Xte, _, _ = train_test_split(X, y, 0.3, rng=0)
+        all_rows = np.vstack([Xtr, Xte])
+        assert len(np.unique(all_rows[:, 0])) == 50
+
+    def test_bad_fraction(self):
+        X, y = _blobs(10)
+        with pytest.raises(ValueError):
+            train_test_split(X, y, 1.5)
+
+
+class TestPreprocessing:
+    def test_scaler(self):
+        X = np.array([[1.0, 10.0], [3.0, 30.0]])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0)
+        assert np.allclose(Z.std(axis=0), 1)
+
+    def test_scaler_constant_feature(self):
+        X = np.ones((5, 2))
+        Z = StandardScaler().fit_transform(X)
+        assert np.isfinite(Z).all()
+
+    def test_label_encoder_roundtrip(self):
+        enc = LabelEncoder()
+        codes = enc.fit_transform(["b", "a", "b"])
+        assert list(enc.inverse_transform(codes)) == ["b", "a", "b"]
+
+    def test_label_encoder_unseen(self):
+        enc = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(ValueError):
+            enc.transform(["c"])
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy_score([1, 1, 0], [1, 0, 0]) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+    def test_confusion(self):
+        cm = confusion_matrix([0, 0, 1], [0, 1, 1], labels=[0, 1])
+        assert cm.tolist() == [[1, 1], [0, 1]]
+
+
+class TestDecisionTree:
+    def test_separable_blobs(self):
+        X, y = _blobs()
+        Xtr, Xte, ytr, yte = train_test_split(X, y, 0.25, rng=0)
+        clf = DecisionTreeClassifier(max_depth=8).fit(Xtr, ytr)
+        assert accuracy_score(yte, clf.predict(Xte)) > 0.9
+
+    def test_xor(self):
+        X, y = _xor()
+        clf = DecisionTreeClassifier(max_depth=6).fit(X, y)
+        assert accuracy_score(y, clf.predict(X)) > 0.95
+
+    def test_max_depth_limits(self):
+        X, y = _xor()
+        stump = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        deep = DecisionTreeClassifier(max_depth=8).fit(X, y)
+        assert accuracy_score(y, deep.predict(X)) > accuracy_score(y, stump.predict(X))
+
+    def test_string_labels(self):
+        X, y = _blobs(k=2)
+        labels = np.where(y == 0, "benign", "attack")
+        clf = DecisionTreeClassifier(max_depth=6).fit(X, labels)
+        preds = clf.predict(X)
+        assert set(preds) <= {"benign", "attack"}
+
+    def test_predict_proba_simplex(self):
+        X, y = _blobs()
+        clf = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        probs = clf.predict_proba(X[:10])
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_single_class(self):
+        X = np.random.default_rng(0).normal(size=(20, 3))
+        clf = DecisionTreeClassifier().fit(X, np.zeros(20, dtype=int))
+        assert (clf.predict(X) == 0).all()
+
+
+class TestDecisionTreeRegressor:
+    def test_step_function(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(0, 1, size=(500, 1))
+        y = np.where(X[:, 0] > 0.5, 10.0, -10.0)
+        reg = DecisionTreeRegressor(max_depth=2)
+        reg.fit(X, y)
+        preds = reg.predict(X)
+        assert np.abs(preds - y).mean() < 1.0
+
+    def test_leaf_mean(self):
+        X = np.zeros((4, 1))
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        reg = DecisionTreeRegressor(max_depth=3)
+        reg.fit(X, y)  # no split possible
+        assert reg.predict(np.zeros((1, 1)))[0] == pytest.approx(2.5)
+
+
+class TestEnsembles:
+    def test_random_forest_beats_chance(self):
+        X, y = _blobs()
+        Xtr, Xte, ytr, yte = train_test_split(X, y, 0.25, rng=0)
+        clf = RandomForestClassifier(n_estimators=10, max_depth=8, rng=0).fit(Xtr, ytr)
+        assert accuracy_score(yte, clf.predict(Xte)) > 0.9
+
+    def test_gradient_boosting_xor(self):
+        X, y = _xor(500)
+        clf = GradientBoostingClassifier(n_estimators=15, max_depth=3, rng=0).fit(X, y)
+        assert accuracy_score(y, clf.predict(X)) > 0.9
+
+    def test_gb_multiclass(self):
+        X, y = _blobs(k=4)
+        clf = GradientBoostingClassifier(n_estimators=10, rng=0).fit(X, y)
+        assert accuracy_score(y, clf.predict(X)) > 0.85
+
+    def test_forest_proba_simplex(self):
+        X, y = _blobs(200)
+        clf = RandomForestClassifier(n_estimators=5, rng=0).fit(X, y)
+        probs = clf.predict_proba(X[:7])
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+
+class TestLogisticAndMlp:
+    def test_logistic_linear_problem(self):
+        X, y = _blobs(k=2)
+        clf = LogisticRegressionClassifier(max_iter=200).fit(X, y)
+        assert accuracy_score(y, clf.predict(X)) > 0.95
+
+    def test_logistic_fails_xor(self):
+        # LR is linear: XOR stays near chance — the paper's "LR is low".
+        X, y = _xor()
+        clf = LogisticRegressionClassifier(max_iter=200).fit(X, y)
+        assert accuracy_score(y, clf.predict(X)) < 0.7
+
+    def test_mlp_solves_xor(self):
+        X, y = _xor(600)
+        clf = MlpClassifier(hidden=(32,), epochs=80, rng=0).fit(X, y)
+        assert accuracy_score(y, clf.predict(X)) > 0.9
+
+    def test_mlp_multiclass(self):
+        X, y = _blobs(k=3)
+        clf = MlpClassifier(hidden=(16,), epochs=30, rng=0).fit(X, y)
+        assert accuracy_score(y, clf.predict(X)) > 0.9
+
+
+class TestOneClassSVM:
+    def test_flags_outliers(self):
+        rng = np.random.default_rng(4)
+        inliers = rng.normal(0, 1, size=(400, 3))
+        outliers = rng.normal(8, 0.5, size=(40, 3))
+        model = OneClassSVM(nu=0.1, epochs=40, rng=0).fit(inliers)
+        out_ratio = np.mean(model.predict(outliers) < 0)
+        in_ratio = np.mean(model.predict(inliers) < 0)
+        assert out_ratio > 0.8
+        assert in_ratio < 0.3
+
+    def test_nu_bounds_training_anomaly_rate(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(0, 1, size=(500, 2))
+        model = OneClassSVM(nu=0.2, epochs=40, rng=0).fit(X)
+        assert model.anomaly_ratio(X) < 0.45
+
+    def test_linear_kernel(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(0, 1, size=(200, 2))
+        model = OneClassSVM(nu=0.3, kernel="linear", epochs=30, rng=0).fit(X)
+        assert np.isfinite(model.decision_function(X)).all()
+
+    def test_invalid_nu(self):
+        with pytest.raises(ValueError):
+            OneClassSVM(nu=0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            OneClassSVM().decision_function(np.zeros((1, 2)))
+
+
+class TestModelZoo:
+    def test_all_paper_models_train(self):
+        X, y = _blobs(300)
+        for name in PAPER_MODELS:
+            clf = build_classifier(name, rng=0)
+            clf.fit(X, y)
+            assert accuracy_score(y, clf.predict(X)) > 0.8, name
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            build_classifier("SVM")

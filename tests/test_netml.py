@@ -1,0 +1,105 @@
+"""Unit tests for the NetML flow-representation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.netml import NETML_MODES, build_flows, flow_features, netml_anomaly_ratio
+from repro.netml.anomaly import netml_feature_matrix
+from repro.netml.flows import Flow
+
+
+class TestFlow:
+    def test_properties(self):
+        flow = Flow(np.array([0.0, 1.0, 3.0]), np.array([100.0, 200.0, 50.0]))
+        assert flow.n_packets == 3
+        assert flow.duration == pytest.approx(3.0)
+        assert np.allclose(flow.iats, [1.0, 2.0])
+
+
+class TestBuildFlows:
+    def test_min_packets_filter(self):
+        table = load_dataset("caida", n_records=3000, seed=7)
+        all_flows = build_flows(table, min_packets=1)
+        multi = build_flows(table, min_packets=2)
+        assert len(multi) < len(all_flows)
+        assert all(f.n_packets >= 2 for f in multi)
+
+    def test_timestamps_sorted_within_flow(self):
+        table = load_dataset("dc", n_records=3000, seed=7)
+        for flow in build_flows(table)[:50]:
+            assert (np.diff(flow.timestamps) >= 0).all()
+
+    def test_packet_conservation(self):
+        table = load_dataset("caida", n_records=2000, seed=8)
+        flows = build_flows(table, min_packets=1)
+        assert sum(f.n_packets for f in flows) == 2000
+
+    def test_missing_size_field(self):
+        table = load_dataset("ton", n_records=100, seed=7)  # flow table: no pkt_len
+        with pytest.raises(KeyError):
+            build_flows(table)
+
+
+class TestFeatures:
+    @pytest.fixture(scope="class")
+    def flow(self):
+        rng = np.random.default_rng(9)
+        ts = np.sort(rng.uniform(0, 10, 20))
+        sizes = rng.integers(40, 1500, 20).astype(float)
+        return Flow(ts, sizes)
+
+    def test_all_modes_produce_vectors(self, flow):
+        for mode in NETML_MODES:
+            vec = flow_features(flow, mode)
+            assert vec.ndim == 1
+            assert np.isfinite(vec).all()
+
+    def test_stats_mode_has_10_features(self, flow):
+        assert len(flow_features(flow, "STATS")) == 10
+
+    def test_iat_size_concatenates(self, flow):
+        iat = flow_features(flow, "IAT")
+        size = flow_features(flow, "SIZE")
+        both = flow_features(flow, "IAT_SIZE")
+        assert len(both) == len(iat) + len(size)
+
+    def test_samp_num_counts_packets(self, flow):
+        series = flow_features(flow, "SAMP_NUM", n_windows=10)
+        assert series.sum() == pytest.approx(flow.n_packets)
+
+    def test_samp_size_counts_bytes(self, flow):
+        series = flow_features(flow, "SAMP_SIZE", n_windows=10)
+        assert series.sum() == pytest.approx(flow.sizes.sum())
+
+    def test_unknown_mode(self, flow):
+        with pytest.raises(KeyError):
+            flow_features(flow, "BOGUS")
+
+    def test_paper_abbreviations(self, flow):
+        assert np.allclose(flow_features(flow, "IS"), flow_features(flow, "IAT_SIZE"))
+        assert np.allclose(flow_features(flow, "SN"), flow_features(flow, "SAMP_NUM"))
+        assert np.allclose(flow_features(flow, "SS"), flow_features(flow, "SAMP_SIZE"))
+
+
+class TestAnomalyPipeline:
+    def test_ratio_in_unit_interval(self):
+        table = load_dataset("caida", n_records=4000, seed=10)
+        ratio = netml_anomaly_ratio(table, "STATS", nu=0.1, rng=0)
+        assert 0.0 <= ratio <= 1.0
+
+    def test_nan_when_no_flows(self):
+        # A trace where every 5-tuple is unique -> no >=2-packet flows.
+        table = load_dataset("caida", n_records=400, seed=11)
+        import numpy as np
+
+        unique_src = table.with_column(
+            "srcport", np.arange(400, dtype=np.int64)
+        ).with_column("srcip", np.arange(400, dtype=np.int64) + 10**6)
+        ratio = netml_anomaly_ratio(unique_src, "STATS", rng=0)
+        assert np.isnan(ratio)
+
+    def test_feature_matrix_shape(self):
+        table = load_dataset("dc", n_records=3000, seed=12)
+        features = netml_feature_matrix(table, "SIZE")
+        assert features.shape[0] == len(build_flows(table))

@@ -1,0 +1,216 @@
+"""Unit tests for the numpy neural-net substrate, incl. DP-SGD."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Dense,
+    DpSgdOptimizer,
+    LeakyReLU,
+    ReLU,
+    SGD,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    bce_with_logits,
+    mse_loss,
+    softmax_cross_entropy,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def _numeric_grad(f, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        hi = f()
+        x[idx] = orig - eps
+        lo = f()
+        x[idx] = orig
+        grad[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestLayers:
+    def test_dense_shapes(self):
+        layer = Dense(3, 5, RNG)
+        out = layer.forward(np.zeros((7, 3)))
+        assert out.shape == (7, 5)
+
+    def test_dense_gradient_check(self):
+        rng = np.random.default_rng(1)
+        layer = Dense(4, 3, rng)
+        x = rng.normal(size=(6, 4))
+        target = rng.normal(size=(6, 3))
+
+        def loss():
+            return 0.5 * np.sum((layer.forward(x) - target) ** 2)
+
+        out = layer.forward(x)
+        layer.backward(out - target)
+        num_gW = _numeric_grad(loss, layer.W)
+        assert np.allclose(layer.gW, num_gW, atol=1e-4)
+        num_gb = _numeric_grad(loss, layer.b)
+        assert np.allclose(layer.gb, num_gb, atol=1e-4)
+
+    def test_per_example_grads_sum_to_batch_grad(self):
+        rng = np.random.default_rng(2)
+        layer = Dense(4, 2, rng)
+        x = rng.normal(size=(5, 4))
+        layer.forward(x)
+        grad_out = rng.normal(size=(5, 2))
+        layer.backward(grad_out)
+        pex = layer.per_example_grads()
+        assert np.allclose(pex["W"].sum(axis=0), layer.gW)
+        assert np.allclose(pex["b"].sum(axis=0), layer.gb)
+
+    @pytest.mark.parametrize("activation", [ReLU(), LeakyReLU(), Tanh(), Sigmoid()])
+    def test_activation_gradient_check(self, activation):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(4, 3)) + 0.1  # avoid ReLU kinks at 0
+
+        def loss():
+            return np.sum(activation.forward(x.copy()) ** 2)
+
+        out = activation.forward(x.copy())
+        grad = activation.backward(2 * out)
+        num = _numeric_grad(loss, x)
+        assert np.allclose(grad, num, atol=1e-4)
+
+
+class TestLosses:
+    def test_softmax_ce_gradient_check(self):
+        rng = np.random.default_rng(4)
+        logits = rng.normal(size=(5, 3))
+        labels = rng.integers(0, 3, 5)
+
+        def loss():
+            return softmax_cross_entropy(logits, labels)[0]
+
+        _, grad = softmax_cross_entropy(logits, labels)
+        num = _numeric_grad(loss, logits)
+        assert np.allclose(grad, num, atol=1e-5)
+
+    def test_bce_gradient_check(self):
+        rng = np.random.default_rng(5)
+        logits = rng.normal(size=(6, 1))
+        targets = rng.integers(0, 2, 6).astype(float)
+
+        def loss():
+            return bce_with_logits(logits, targets)[0]
+
+        _, grad = bce_with_logits(logits, targets)
+        num = _numeric_grad(loss, logits)
+        assert np.allclose(grad.reshape(-1), num.reshape(-1), atol=1e-5)
+
+    def test_mse(self):
+        loss, grad = mse_loss(np.array([1.0, 2.0]), np.array([0.0, 0.0]))
+        assert loss == pytest.approx(2.5)
+        assert np.allclose(grad, [1.0, 2.0])
+
+
+class TestTraining:
+    def _regression_net(self, rng):
+        return Sequential([Dense(2, 16, rng), Tanh(), Dense(16, 1, rng)])
+
+    def test_sgd_reduces_loss(self):
+        rng = np.random.default_rng(6)
+        net = self._regression_net(rng)
+        opt = SGD(lr=0.05, momentum=0.9)
+        X = rng.normal(size=(64, 2))
+        y = (X[:, :1] * 2 - X[:, 1:] * 0.5)
+        first = None
+        for _ in range(100):
+            out = net.forward(X)
+            loss, grad = mse_loss(out, y)
+            if first is None:
+                first = loss
+            net.backward(grad)
+            opt.step(net.parameters(), net.gradients())
+        assert loss < first * 0.1
+
+    def test_adam_reduces_loss(self):
+        rng = np.random.default_rng(7)
+        net = self._regression_net(rng)
+        opt = Adam(lr=0.01)
+        X = rng.normal(size=(64, 2))
+        y = np.sin(X[:, :1])
+        losses = []
+        for _ in range(150):
+            out = net.forward(X)
+            loss, grad = mse_loss(out, y)
+            losses.append(loss)
+            net.backward(grad)
+            opt.step(net.parameters(), net.gradients())
+        assert losses[-1] < losses[0] * 0.2
+
+    def test_get_set_parameters(self):
+        rng = np.random.default_rng(8)
+        net = self._regression_net(rng)
+        saved = net.get_parameters()
+        for _, _, arr in net.parameters():
+            arr += 1.0
+        net.set_parameters(saved)
+        for cur, old in zip(net.get_parameters(), saved):
+            assert np.allclose(cur, old)
+
+
+class TestDpSgd:
+    def _setup(self, noise):
+        rng = np.random.default_rng(9)
+        net = Sequential([Dense(3, 4, rng), ReLU(), Dense(4, 1, rng)])
+        opt = DpSgdOptimizer(
+            SGD(lr=0.05),
+            clip_norm=1.0,
+            noise_multiplier=noise,
+            sample_rate=0.1,
+            rng=rng,
+        )
+        return net, opt, rng
+
+    def test_clipping_bounds_update(self):
+        net, opt, rng = self._setup(noise=0.0)
+        X = rng.normal(size=(8, 3)) * 100  # huge inputs -> huge raw grads
+        y = rng.normal(size=(8, 1)) * 100
+        before = net.get_parameters()
+        out = net.forward(X)
+        _, grad = mse_loss(out, y)
+        net.backward(grad)
+        opt.step(net.parameters(), net.per_example_gradients())
+        after = net.get_parameters()
+        # Mean clipped gradient norm <= clip_norm / 1 -> update <= lr * C.
+        total_change = np.sqrt(sum(((a - b) ** 2).sum() for a, b in zip(after, before)))
+        assert total_change <= 0.05 * 1.0 + 1e-9
+
+    def test_accounting_progresses(self):
+        net, opt, rng = self._setup(noise=1.0)
+        X = rng.normal(size=(4, 3))
+        y = rng.normal(size=(4, 1))
+        for _ in range(5):
+            out = net.forward(X)
+            _, grad = mse_loss(out, y)
+            net.backward(grad)
+            opt.step(net.parameters(), net.per_example_gradients())
+        eps5 = opt.epsilon(1e-5)
+        for _ in range(5):
+            out = net.forward(X)
+            _, grad = mse_loss(out, y)
+            net.backward(grad)
+            opt.step(net.parameters(), net.per_example_gradients())
+        assert opt.epsilon(1e-5) > eps5
+
+    def test_zero_noise_is_infinite_epsilon(self):
+        net, opt, _ = self._setup(noise=0.0)
+        assert opt.epsilon(1e-5) == float("inf")
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DpSgdOptimizer(SGD(), clip_norm=0.0)
+        with pytest.raises(ValueError):
+            DpSgdOptimizer(SGD(), noise_multiplier=-1.0)

@@ -1,0 +1,202 @@
+"""Cross-cutting property-based tests and failure injection.
+
+These complement the per-module suites with randomized invariants on the
+privacy-critical paths: budget conservation, projection feasibility, GUM
+row-count preservation, encoder round-trip containment.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency import make_consistent, norm_sub
+from repro.core import NetDPSyn, SynthesisConfig
+from repro.data.domain import Domain
+from repro.data.schema import FieldKind, FieldSpec, Schema
+from repro.data.table import TraceTable
+from repro.datasets import load_dataset
+from repro.dp.accountant import BudgetLedger
+from repro.marginals.marginal import Marginal
+from repro.synthesis import GumConfig, run_gum
+
+RNG = np.random.default_rng(0)
+
+
+class TestBudgetConservationProperty:
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=0.2), min_size=1, max_size=8)
+    )
+    @settings(max_examples=50)
+    def test_ledger_never_overdraws(self, spends):
+        ledger = BudgetLedger(1.0)
+        total = 0.0
+        for amount in spends:
+            if total + amount <= 1.0:
+                ledger.spend(amount)
+                total += amount
+            else:
+                with pytest.raises(RuntimeError):
+                    ledger.spend(1.1 - total + amount)
+                break
+        assert ledger.spent <= ledger.total * (1 + 1e-9)
+
+    def test_bad_stage_split_rejected_by_pipeline(self):
+        table = load_dataset("ton", n_records=300, seed=0)
+        config = SynthesisConfig(epsilon=2.0, stage_split={"binning": 0.5, "selection": 0.6, "publish": 0.2})
+        with pytest.raises(ValueError):
+            NetDPSyn(config, rng=0).fit(table)
+
+
+class TestGumProperties:
+    @given(
+        st.integers(min_value=50, max_value=400),
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_row_count_and_domain_preserved(self, n, size_x, size_y, seed):
+        rng = np.random.default_rng(seed)
+        domain = Domain({"x": size_x, "y": size_y})
+        target = rng.random((size_x, size_y)) + 0.1
+        target = target / target.sum() * n
+        data = np.stack(
+            [rng.integers(0, size_x, n), rng.integers(0, size_y, n)], axis=1
+        ).astype(np.int32)
+        result = run_gum(
+            data, [Marginal(("x", "y"), target)], ("x", "y"), domain,
+            GumConfig(iterations=5), rng=rng,
+        )
+        assert result.data.shape == (n, 2)
+        assert result.data[:, 0].min() >= 0 and result.data[:, 0].max() < size_x
+        assert result.data[:, 1].min() >= 0 and result.data[:, 1].max() < size_y
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_error_trace_monotone_tendency(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 500
+        domain = Domain({"x": 4, "y": 4})
+        target = np.diag([1.0, 1.0, 1.0, 1.0]) * n / 4
+        data = np.stack(
+            [rng.integers(0, 4, n), rng.integers(0, 4, n)], axis=1
+        ).astype(np.int32)
+        result = run_gum(
+            data, [Marginal(("x", "y"), target)], ("x", "y"), domain,
+            GumConfig(iterations=15), rng=rng,
+        )
+        assert result.errors[-1] <= result.errors[0]
+
+
+class TestConsistencyProperties:
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=40)
+    def test_make_consistent_output_valid(self, a, b, seed):
+        rng = np.random.default_rng(seed)
+        marginals = [
+            Marginal(("x",), rng.normal(10, 8, size=a), rho=0.1, sigma=1.0),
+            Marginal(("x", "y"), rng.normal(10, 8, size=(a, b)), rho=0.1, sigma=2.0),
+        ]
+        out = make_consistent(marginals, rounds=2)
+        for m in out:
+            assert (m.counts >= -1e-9).all()
+        assert out[0].total == pytest.approx(out[1].total, rel=1e-6)
+
+    @given(
+        st.lists(st.floats(min_value=-50, max_value=50), min_size=2, max_size=30),
+        st.floats(min_value=0.1, max_value=500),
+    )
+    @settings(max_examples=60)
+    def test_norm_sub_idempotent(self, values, target):
+        once = norm_sub(np.array(values), target)
+        twice = norm_sub(once, target)
+        assert np.allclose(once, twice, atol=1e-8)
+
+
+class TestEncoderRoundTripProperty:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_reencode_is_identity_on_decoded(self, seed):
+        table = load_dataset("ugr16", n_records=300, seed=seed % 100)
+        from repro.binning import DatasetEncoder, EncoderConfig
+
+        encoder = DatasetEncoder(EncoderConfig()).fit(table, rho=0.05, rng=seed)
+        encoded = encoder.encode(table)
+        decoded = encoder.decode(encoded, rng=seed)
+        recoded = encoder.encode(decoded)
+        for j, attr in enumerate(encoded.attrs):
+            spec = encoder.schema[attr]
+            if spec.kind is FieldKind.IP:
+                # Group decoding can emit unobserved addresses that snap to
+                # the nearest observed bin — the re-encoded bin's observed
+                # value range must lie within a /30 block of the sample.
+                original = np.asarray(decoded.column(attr), dtype=np.float64)
+                lo, hi = encoder.codecs[attr].bin_bounds()
+                codes = recoded.data[:, j]
+                assert (original >= lo[codes] - 4).all()
+                assert (original <= hi[codes] + 4).all()
+            else:
+                assert np.array_equal(recoded.data[:, j], encoded.data[:, j]), attr
+
+
+class TestEdgeCases:
+    def _tiny_schema(self):
+        return Schema(
+            fields=(
+                FieldSpec("srcip", FieldKind.IP),
+                FieldSpec("dstport", FieldKind.PORT),
+                FieldSpec("proto", FieldKind.CATEGORICAL, categories=("TCP", "UDP")),
+                FieldSpec("pkt", FieldKind.NUMERIC),
+                FieldSpec(
+                    "label", FieldKind.CATEGORICAL, categories=("a", "b"), is_label=True
+                ),
+            ),
+            kind="flow",
+            flow_key=("srcip", "dstport", "proto"),
+        )
+
+    def test_pipeline_on_tiny_table(self):
+        rng = np.random.default_rng(0)
+        n = 60
+        table = TraceTable(
+            self._tiny_schema(),
+            {
+                "srcip": rng.integers(1, 20, n),
+                "dstport": rng.choice([80, 443], n),
+                "proto": rng.choice(np.array(["TCP", "UDP"], dtype=object), n),
+                "pkt": rng.integers(1, 50, n),
+                "label": rng.choice(np.array(["a", "b"], dtype=object), n),
+            },
+        )
+        config = SynthesisConfig(epsilon=4.0)
+        config.gum.iterations = 3
+        syn = NetDPSyn(config, rng=1).synthesize(table, n=50)
+        assert syn.n_records == 50
+        assert set(syn.column("proto")) <= {"TCP", "UDP"}
+
+    def test_single_record_per_class(self):
+        table = TraceTable(
+            self._tiny_schema(),
+            {
+                "srcip": np.array([1, 2]),
+                "dstport": np.array([80, 443]),
+                "proto": np.array(["TCP", "UDP"], dtype=object),
+                "pkt": np.array([5, 9]),
+                "label": np.array(["a", "b"], dtype=object),
+            },
+        )
+        config = SynthesisConfig(epsilon=8.0)
+        config.gum.iterations = 2
+        syn = NetDPSyn(config, rng=1).synthesize(table, n=10)
+        assert syn.n_records == 10
+
+    def test_requested_zero_epsilon_rejected_everywhere(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(epsilon=-1.0)
+        with pytest.raises(ValueError):
+            BudgetLedger(0.0)

@@ -1,0 +1,204 @@
+"""Unit and property tests for the sketching substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch import (
+    CountMinSketch,
+    CountSketch,
+    MultiplyShiftHasher,
+    NitroSketch,
+    UnivMon,
+    exact_counts,
+    exact_heavy_hitters,
+    heavy_hitter_are,
+    sketch_fidelity_error,
+)
+
+
+def _zipf_stream(n=20000, k=500, a=1.4, seed=0):
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, k + 1, dtype=float)
+    probs = ranks**-a
+    probs /= probs.sum()
+    return rng.choice(k, size=n, p=probs).astype(np.int64)
+
+
+class TestHasher:
+    def test_width_rounded_to_pow2(self):
+        h = MultiplyShiftHasher(3, 1000, np.random.default_rng(0))
+        assert h.width == 1024
+
+    def test_indices_in_range(self):
+        h = MultiplyShiftHasher(4, 256, np.random.default_rng(1))
+        idx = h.index(np.arange(10000))
+        assert idx.min() >= 0
+        assert idx.max() < 256
+
+    def test_signs_are_pm_one(self):
+        h = MultiplyShiftHasher(4, 256, np.random.default_rng(2))
+        signs = h.sign(np.arange(1000))
+        assert set(np.unique(signs)) == {-1, 1}
+
+    def test_deterministic_per_key(self):
+        h = MultiplyShiftHasher(2, 64, np.random.default_rng(3))
+        a = h.index(np.array([42, 42, 7]))
+        assert a[0, 0] == a[0, 1]
+
+
+class TestCountMin:
+    def test_never_underestimates(self):
+        keys = _zipf_stream()
+        sketch = CountMinSketch(width=512, depth=4, rng=0)
+        sketch.update(keys)
+        uniq, counts = exact_counts(keys)
+        estimates = sketch.estimate(uniq)
+        assert (estimates >= counts - 1e-9).all()
+
+    def test_exact_when_wide(self):
+        keys = np.arange(50).repeat(3)
+        sketch = CountMinSketch(width=4096, depth=4, rng=0)
+        sketch.update(keys)
+        assert np.allclose(sketch.estimate(np.arange(50)), 3.0)
+
+    def test_conservative_update_tighter(self):
+        keys = _zipf_stream(n=30000, k=2000)
+        plain = CountMinSketch(width=256, depth=4, conservative=False, rng=0)
+        cons = CountMinSketch(width=256, depth=4, conservative=True, rng=0)
+        plain.update(keys)
+        cons.update(keys)
+        uniq, counts = exact_counts(keys)
+        err_plain = np.abs(plain.estimate(uniq) - counts).mean()
+        err_cons = np.abs(cons.estimate(uniq) - counts).mean()
+        assert err_cons <= err_plain
+
+    def test_weighted_updates(self):
+        sketch = CountMinSketch(width=1024, depth=4, rng=0)
+        sketch.update(np.array([5, 5]), np.array([10.0, 3.0]))
+        assert sketch.estimate(np.array([5]))[0] >= 13.0
+
+    def test_empty_estimate(self):
+        sketch = CountMinSketch(rng=0)
+        assert len(sketch.estimate(np.array([], dtype=np.int64))) == 0
+
+
+class TestCountSketch:
+    def test_heavy_hitters_accurate(self):
+        keys = _zipf_stream()
+        sketch = CountSketch(width=1024, depth=5, rng=0)
+        are = heavy_hitter_are(sketch, keys, threshold=0.005)
+        assert are < 0.05
+
+    def test_roughly_unbiased(self):
+        keys = np.arange(200).repeat(10)
+        totals = []
+        for seed in range(10):
+            sketch = CountSketch(width=64, depth=1, rng=seed)
+            sketch.update(keys)
+            totals.append(sketch.estimate(np.array([0]))[0])
+        assert np.mean(totals) == pytest.approx(10.0, abs=15.0)
+
+
+class TestUnivMon:
+    def test_level0_estimates(self):
+        keys = _zipf_stream()
+        um = UnivMon(levels=6, width=1024, depth=5, rng=0)
+        um.update(keys)
+        uniq, counts = exact_heavy_hitters(keys, 0.005)
+        est = um.estimate(uniq)
+        rel = np.abs(est - counts) / counts
+        assert rel.mean() < 0.1
+
+    def test_levels_subsample(self):
+        keys = np.arange(4096)
+        um = UnivMon(levels=6, width=256, depth=3, rng=1)
+        um.update(keys)
+        masks = [um._level_mask(keys, l).sum() for l in range(4)]
+        # Each level keeps roughly half the previous one.
+        for a, b in zip(masks, masks[1:]):
+            assert b < a
+
+    def test_heavy_hitters_tracked(self):
+        keys = _zipf_stream()
+        um = UnivMon(levels=4, width=512, depth=4, top_k=16, rng=2)
+        um.update(keys)
+        hh = um.heavy_hitters(0)
+        true_hh, _ = exact_heavy_hitters(keys, 0.01)
+        assert len(set(hh) & set(true_hh.tolist())) >= len(true_hh) // 2
+
+    def test_gsum_l1_close_to_stream_length(self):
+        keys = _zipf_stream(n=8000, k=50, a=1.6)
+        um = UnivMon(levels=5, width=1024, depth=5, top_k=64, rng=3)
+        um.update(keys)
+        l1 = um.gsum(lambda f: f)
+        assert l1 == pytest.approx(8000, rel=0.5)
+
+
+class TestNitroSketch:
+    def test_estimates_with_sampling(self):
+        keys = _zipf_stream()
+        ns = NitroSketch(width=1024, depth=5, sample_rate=0.5, rng=0)
+        ns.update(keys)
+        uniq, counts = exact_heavy_hitters(keys, 0.01)
+        rel = np.abs(ns.estimate(uniq) - counts) / counts
+        assert rel.mean() < 0.3
+
+    def test_lower_rate_noisier(self):
+        keys = _zipf_stream()
+        uniq, counts = exact_heavy_hitters(keys, 0.01)
+        errs = {}
+        for rate in (1.0, 0.1):
+            ns = NitroSketch(width=1024, depth=5, sample_rate=rate, rng=0)
+            ns.update(keys)
+            errs[rate] = np.abs(ns.estimate(uniq) - counts).mean()
+        assert errs[0.1] >= errs[1.0]
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            NitroSketch(sample_rate=0.0)
+
+
+class TestHeavyHitterHarness:
+    def test_exact_heavy_hitters_threshold(self):
+        keys = np.array([1] * 100 + [2] * 5 + list(range(10, 40)))
+        hh, counts = exact_heavy_hitters(keys, threshold=0.05)
+        assert list(hh) == [1]
+        assert counts[0] == 100
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            exact_heavy_hitters(np.array([1]), threshold=2.0)
+
+    def test_fidelity_error_zero_for_identical_streams(self):
+        keys = _zipf_stream()
+        err = sketch_fidelity_error(
+            lambda rng: CountMinSketch(width=1024, depth=4, rng=rng),
+            keys,
+            keys.copy(),
+            threshold=0.005,
+            trials=3,
+            rng=0,
+        )
+        assert err < 0.5  # same stream, same error profile (up to seed noise)
+
+    def test_fidelity_error_large_for_uniform_synthetic(self):
+        keys = _zipf_stream(a=1.8)
+        uniform = np.random.default_rng(1).integers(0, 500, size=len(keys))
+        err_same = sketch_fidelity_error(
+            lambda rng: CountMinSketch(width=128, depth=3, rng=rng),
+            keys, keys.copy(), threshold=0.005, trials=3, rng=0,
+        )
+        err_diff = sketch_fidelity_error(
+            lambda rng: CountMinSketch(width=128, depth=3, rng=rng),
+            keys, uniform, threshold=0.005, trials=3, rng=0,
+        )
+        assert err_diff > err_same
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=20)
+    def test_cms_single_key_property(self, count):
+        sketch = CountMinSketch(width=64, depth=3, rng=0)
+        sketch.update(np.full(count, 7, dtype=np.int64))
+        assert sketch.estimate(np.array([7]))[0] >= count

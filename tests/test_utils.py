@@ -1,0 +1,129 @@
+"""Unit tests for repro.utils."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.ipaddr import (
+    MAX_IPV4,
+    apply_prefix,
+    int_to_ip,
+    ints_to_ips,
+    ip_to_int,
+    ips_to_ints,
+    prefix_mask,
+)
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability_vector,
+)
+
+
+class TestIpAddr:
+    def test_roundtrip_known_addresses(self):
+        for addr in ("0.0.0.0", "10.0.0.1", "192.168.1.255", "255.255.255.255"):
+            assert int_to_ip(ip_to_int(addr)) == addr
+
+    def test_known_value(self):
+        assert ip_to_int("1.2.3.4") == (1 << 24) | (2 << 16) | (3 << 8) | 4
+
+    def test_rejects_bad_strings(self):
+        with pytest.raises(ValueError):
+            ip_to_int("1.2.3")
+        with pytest.raises(ValueError):
+            ip_to_int("256.0.0.1")
+
+    def test_rejects_out_of_range_int(self):
+        with pytest.raises(ValueError):
+            int_to_ip(MAX_IPV4 + 1)
+        with pytest.raises(ValueError):
+            int_to_ip(-1)
+
+    def test_vectorized_roundtrip(self):
+        addrs = ["10.1.2.3", "172.16.0.9"]
+        assert ints_to_ips(ips_to_ints(addrs)) == addrs
+
+    def test_prefix_mask_extremes(self):
+        assert prefix_mask(0) == 0
+        assert prefix_mask(32) == MAX_IPV4
+        assert prefix_mask(24) == ip_to_int("255.255.255.0")
+
+    def test_prefix_mask_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            prefix_mask(33)
+
+    def test_apply_prefix_30(self):
+        values = np.array([ip_to_int("10.0.0.5"), ip_to_int("10.0.0.6")])
+        masked = apply_prefix(values, 30)
+        assert masked[0] == masked[1] == ip_to_int("10.0.0.4")
+
+    @given(st.integers(min_value=0, max_value=MAX_IPV4))
+    def test_roundtrip_property(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+
+class TestRng:
+    def test_ensure_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_ensure_rng_seed_determinism(self):
+        a = ensure_rng(42).integers(0, 100, 5)
+        b = ensure_rng(42).integers(0, 100, 5)
+        assert np.array_equal(a, b)
+
+    def test_spawn_rngs_independent(self):
+        children = spawn_rngs(7, 3)
+        streams = [c.integers(0, 1000, 10) for c in children]
+        assert not np.array_equal(streams[0], streams[1])
+
+    def test_spawn_rngs_deterministic(self):
+        a = [r.integers(0, 100, 3) for r in spawn_rngs(1, 2)]
+        b = [r.integers(0, 100, 3) for r in spawn_rngs(1, 2)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_spawn_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+
+    def test_check_fraction_bounds(self):
+        assert check_fraction("f", 0.0) == 0.0
+        with pytest.raises(ValueError):
+            check_fraction("f", 0.0, inclusive=False)
+        with pytest.raises(ValueError):
+            check_fraction("f", 1.5)
+
+    def test_probability_vector(self):
+        check_probability_vector("p", np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            check_probability_vector("p", np.array([0.7, 0.5]))
+        with pytest.raises(ValueError):
+            check_probability_vector("p", np.array([-0.1, 1.1]))
+
+
+class TestTimer:
+    def test_context_manager(self):
+        with Timer() as t:
+            sum(range(100))
+        assert t.elapsed >= 0.0
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_start_stop(self):
+        t = Timer()
+        t.start()
+        assert t.stop() >= 0.0
