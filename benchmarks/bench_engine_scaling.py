@@ -1,0 +1,99 @@
+"""Engine scaling: sampling-phase records/sec across shard counts/backends.
+
+The sampling phase is pure post-processing, so sharding it spends no extra
+privacy budget (paper §3.4) — this benchmark records what that buys in
+throughput.  The serial single-shard baseline is the legacy pre-engine
+implementation bit for bit; sharded configurations run the vectorized GUM
+update, so the speedup combines vectorization with parallel shards.
+
+Acceptance gates (full scale, >= 20k synthesized records):
+
+- process-4 shows >= 1.5x sampling-phase speedup over the serial backend;
+- single-shard serial output is bit-identical to the pre-refactor
+  ``sample()`` for the pinned golden workload;
+- backends are interchangeable: same seed + shard count => same digest.
+
+Smoke mode (REPRO_BENCH_SMOKE=1, used by CI) shrinks the workload and skips
+the speedup gate — parallel overhead dominates at toy sizes.
+
+Runnable standalone: ``python benchmarks/bench_engine_scaling.py [out.json]``.
+"""
+
+import json
+import os
+import sys
+
+from conftest import SMOKE, attach, fmt
+
+from repro.experiments import engine_scaling
+from repro.experiments.runner import ExperimentScale
+
+#: Full-scale default: the ToN-style 50k-record workload of the acceptance
+#: criteria; smoke mode drops to 2k so CI stays fast.
+DEFAULT_RECORDS = 2_000 if SMOKE else 50_000
+
+#: Below this many synthesized records, parallel overhead dominates and the
+#: speedup assertion is skipped (the numbers are still recorded).
+FULL_SCALE_THRESHOLD = 20_000
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+def engine_scale() -> ExperimentScale:
+    return ExperimentScale(
+        n_records=_env_int("REPRO_BENCH_ENGINE_RECORDS", DEFAULT_RECORDS),
+        seed=_env_int("REPRO_BENCH_SEED", 0),
+    )
+
+
+def run_and_check(scale: ExperimentScale) -> dict:
+    repetitions = 1 if SMOKE else _env_int("REPRO_BENCH_ENGINE_REPS", 1)
+    result = engine_scaling.run(scale, repetitions=repetitions)
+    rows = result["rows"]
+
+    for key, row in rows.items():
+        print(
+            f"[engine] {key:<10s} {fmt(row['seconds'])}s  "
+            f"{row['records_per_second']:>10.0f} rec/s  "
+            f"speedup={fmt(row['speedup_vs_serial'])}"
+        )
+    print(f"[engine] bit-identity vs pre-refactor: {result['bit_identity']['matches']}")
+
+    # Single-shard serial output is bit-identical to the pre-refactor sample().
+    assert result["bit_identity"]["matches"], result["bit_identity"]
+
+    # Backends only move work: same seed + shard count => identical traces.
+    assert rows["serial-1"]["digest"] == rows["process-1"]["digest"]
+    assert rows["serial-2"]["digest"] == rows["process-2"]["digest"]
+
+    if result["n_synthesized"] >= FULL_SCALE_THRESHOLD:
+        speedup = rows["process-4"]["speedup_vs_serial"]
+        assert speedup >= 1.5, (
+            f"process-4 speedup {speedup:.2f}x < 1.5x over the serial backend"
+        )
+    return result
+
+
+def test_engine_scaling(benchmark):
+    scale = engine_scale()
+    result = benchmark.pedantic(
+        lambda: run_and_check(scale), rounds=1, iterations=1, warmup_rounds=0
+    )
+    attach(benchmark, result)
+
+
+if __name__ == "__main__":
+    payload = run_and_check(engine_scale())
+    out_path = sys.argv[1] if len(sys.argv) > 1 else None
+    text = json.dumps(payload, indent=2, default=float)
+    if out_path:
+        with open(out_path, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {out_path}")
+    else:
+        print(text)

@@ -9,6 +9,10 @@ Scale is controlled by the REPRO_BENCH_RECORDS environment variable
 (default 6000); the synthetic-output cache in the runner is shared across
 benches within one pytest session, so e.g. Table 1 reuses Figure 3's
 synthesis runs.
+
+Setting REPRO_BENCH_SMOKE=1 caps every benchmark at a small record count
+and one repetition — CI uses this to record the perf trajectory per PR
+without paying full benchmark cost.
 """
 
 from __future__ import annotations
@@ -27,11 +31,18 @@ def _env_int(name: str, default: int) -> int:
         return default
 
 
+#: CI smoke mode: tiny workloads, single repetitions, no perf assertions.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
 @pytest.fixture(scope="session")
 def scale() -> ExperimentScale:
     """The session-wide laptop-scale configuration."""
+    n_records = _env_int("REPRO_BENCH_RECORDS", 6000)
+    if SMOKE:
+        n_records = min(n_records, _env_int("REPRO_BENCH_SMOKE_RECORDS", 1000))
     return ExperimentScale(
-        n_records=_env_int("REPRO_BENCH_RECORDS", 6000),
+        n_records=n_records,
         seed=_env_int("REPRO_BENCH_SEED", 0),
     )
 

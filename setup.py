@@ -1,16 +1,5 @@
-"""Legacy setup shim: enables `pip install -e .` without the wheel package."""
+"""Legacy setup shim: project metadata lives in pyproject.toml."""
 
-from setuptools import find_packages, setup
+from setuptools import setup
 
-setup(
-    name="repro",
-    version="1.0.0",
-    description=(
-        "NetDPSyn reproduction: differentially private synthesis of network "
-        "traces (IMC 2024)"
-    ),
-    package_dir={"": "src"},
-    packages=find_packages(where="src"),
-    python_requires=">=3.10",
-    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
-)
+setup()

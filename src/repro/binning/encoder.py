@@ -205,11 +205,28 @@ class DatasetEncoder:
         """
         if self.schema is None:
             raise RuntimeError("encoder not fitted")
-        rng = ensure_rng(rng)
-        columns = {}
-        for j, name in enumerate(encoded.attrs):
-            columns[name] = self.codecs[name].decode_bins(encoded.data[:, j], rng)
+        columns = decode_columns(encoded.data, encoded.attrs, self.codecs, rng)
         return TraceTable(self.schema, columns)
+
+
+def decode_columns(
+    data: np.ndarray,
+    attrs: tuple,
+    codecs: dict,
+    rng: np.random.Generator | int | None = None,
+) -> dict:
+    """In-bin sample raw values for every attribute, in attribute order.
+
+    The single implementation of the decode loop: both
+    :meth:`DatasetEncoder.decode` and the engine's plan decoding go through
+    it, so the random-stream consumption (one ``decode_bins`` call per
+    attribute) can never drift between the two paths.
+    """
+    rng = ensure_rng(rng)
+    columns = {}
+    for j, name in enumerate(attrs):
+        columns[name] = codecs[name].decode_bins(data[:, j], rng)
+    return columns
 
 
 def compute_tsdiff(table: TraceTable, key) -> np.ndarray:

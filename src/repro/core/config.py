@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.binning.encoder import EncoderConfig
 from repro.dp.allocation import DEFAULT_STAGE_SPLIT
+from repro.engine.config import EngineConfig
 from repro.synthesis.gum import GumConfig
 
 
@@ -27,6 +28,9 @@ class SynthesisConfig:
     stage_split: dict = field(default_factory=lambda: dict(DEFAULT_STAGE_SPLIT))
     encoder: EncoderConfig = field(default_factory=EncoderConfig)
     gum: GumConfig = field(default_factory=GumConfig)
+    #: Execution of the (post-processing) sampling phase: backend and shard
+    #: count; ``sample(shards=..., backend=...)`` overrides per call.
+    engine: EngineConfig = field(default_factory=EngineConfig)
     #: "gummi" (marginal initialization, the paper's method) or "random"
     #: (plain GUM, the PrivSyn baseline used in the Fig. 8 ablation).
     initialization: str = "gummi"

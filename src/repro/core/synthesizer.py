@@ -17,6 +17,11 @@ The pipeline:
 Everything after step 7 is post-processing: the released trace satisfies the
 same ``(epsilon, delta)``-DP as the published marginals (zCDP composition,
 tracked by the :class:`~repro.dp.accountant.BudgetLedger`).
+
+Steps 9-11 run on the :mod:`repro.engine` sampling engine: ``fit()`` freezes
+a picklable :class:`~repro.engine.SynthesisPlan` and ``sample()`` executes it
+on a serial, thread, or process backend, optionally sharded — post-processing
+parallelism is free under DP.
 """
 
 from __future__ import annotations
@@ -25,7 +30,7 @@ from itertools import combinations
 
 import numpy as np
 
-from repro.binning.encoder import TSDIFF, DatasetEncoder, EncodedDataset
+from repro.binning.encoder import DatasetEncoder, EncodedDataset
 from repro.consistency.engine import postprocess_marginals
 from repro.consistency.rules import build_default_rules
 from repro.core.config import SynthesisConfig
@@ -33,18 +38,12 @@ from repro.data.schema import FieldKind
 from repro.data.table import TraceTable
 from repro.dp.accountant import BudgetLedger
 from repro.dp.allocation import split_budget
+from repro.engine import SynthesisPlan, execute_plan
 from repro.marginals.combine import combine_attr_sets, cover_all_attributes
 from repro.marginals.indif import noisy_indif_scores
 from repro.marginals.publish import publish_marginals
 from repro.marginals.selection import select_pairs
-from repro.synthesis.decode import decode_records
-from repro.synthesis.gum import run_gum
-from repro.synthesis.initialization import (
-    marginal_initialization,
-    random_initialization,
-)
-from repro.synthesis.timestamps import reconstruct_timestamps
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import ensure_rng, make_seed_sequence
 
 
 class NetDPSyn:
@@ -68,6 +67,10 @@ class NetDPSyn:
     ) -> None:
         self.config = config or SynthesisConfig()
         self._rng = ensure_rng(rng)
+        # Per-call sample() streams are spawned from this sequence (never
+        # from self._rng) so each call is reproducible from the seed and the
+        # call index alone, regardless of what else consumed the shared rng.
+        self._seed_seq = make_seed_sequence(rng)
         self.ledger: BudgetLedger | None = None
         self.encoder: DatasetEncoder | None = None
         self.selection = None
@@ -76,6 +79,7 @@ class NetDPSyn:
         self._template: EncodedDataset | None = None
         self._original_schema = None
         self._key_attr: str | None = None
+        self._plan: SynthesisPlan | None = None
 
     # -------------------------------------------------------------------- fit
     def fit(self, table: TraceTable) -> "NetDPSyn":
@@ -122,6 +126,7 @@ class NetDPSyn:
             raw_published, self.encoder.codecs, rules, rounds=cfg.consistency_rounds
         )
         self._key_attr = self._resolve_key_attr()
+        self._plan = None
         return self
 
     def _resolve_key_attr(self) -> str:
@@ -137,51 +142,53 @@ class NetDPSyn:
                 return spec.name
         return schema.names[0]
 
+    # ------------------------------------------------------------------ plan
+    def plan(self) -> SynthesisPlan:
+        """The picklable sampling plan (steps 9-11 inputs), built lazily."""
+        if self.encoder is None or self._template is None:
+            raise RuntimeError("fit() must be called before sample()/plan()")
+        if self._plan is None:
+            attrs = self._template.attrs
+            one_way = {a: self._project_one_way(a) for a in attrs}
+            self._plan = SynthesisPlan(
+                attrs=attrs,
+                domain=self._template.domain,
+                published=self.published,
+                one_way=one_way,
+                codecs=self.encoder.codecs,
+                schema=self.encoder.schema,
+                original_schema=self._original_schema,
+                rules=self._rules,
+                key_attr=self._key_attr,
+                gum=self.config.gum,
+                initialization=self.config.initialization,
+                n_init_marginals=self.config.n_init_marginals,
+            )
+        return self._plan
+
     # ----------------------------------------------------------------- sample
     def sample(
-        self, n: int | None = None, rng: np.random.Generator | int | None = None
+        self,
+        n: int | None = None,
+        rng: np.random.Generator | int | None = None,
+        shards: int | None = None,
+        backend: str | None = None,
     ) -> TraceTable:
-        """Generate a synthetic trace (steps 9-11); pure post-processing."""
-        if self.encoder is None or self._template is None:
-            raise RuntimeError("fit() must be called before sample()")
-        cfg = self.config
-        rng = self._rng if rng is None else ensure_rng(rng)
-        if n is None:
-            # The noisy consensus total is the DP estimate of the record count.
-            n = max(int(round(self.published[0].total)), 1)
+        """Generate a synthetic trace (steps 9-11); pure post-processing.
 
-        attrs = self._template.attrs
-        domain = self._template.domain
-        one_way = {
-            a: self._project_one_way(a) for a in attrs
-        }
-        if cfg.initialization == "gummi":
-            data = marginal_initialization(
-                self.published,
-                one_way,
-                attrs,
-                domain,
-                n,
-                key_attr=self._key_attr,
-                n_init=cfg.n_init_marginals,
-                rng=rng,
-            )
-        else:
-            data = random_initialization(one_way, attrs, n, rng)
-
-        self.gum_result = run_gum(data, self.published, attrs, domain, cfg.gum, rng)
-        encoded_syn = self._template.replace_data(self.gum_result.data)
-        table = decode_records(encoded_syn, self.encoder, rng, rules=self._rules)
-
-        if TSDIFF in table.schema:
-            tsdiff_codes = encoded_syn.column(TSDIFF)
-            table = reconstruct_timestamps(
-                table,
-                tsdiff_codes=tsdiff_codes,
-                tsdiff_codec=self.encoder.codecs[TSDIFF],
-                rng=rng,
-            )
-        return self._restore_schema(table)
+        ``shards``/``backend`` override :attr:`SynthesisConfig.engine` for
+        this call; with the defaults (one serial shard) and an explicit
+        ``rng`` the output is bit-identical to the historic single-loop
+        implementation.  When ``rng`` is ``None``, a fresh per-call stream is
+        spawned from the constructor seed, so repeated calls are individually
+        reproducible instead of silently advancing a shared generator.
+        """
+        plan = self.plan()
+        engine = self.config.engine.override(shards=shards, backend=backend)
+        stream = self._seed_seq.spawn(1)[0] if rng is None else rng
+        outcome = execute_plan(plan, engine, n=n, rng=stream)
+        self.gum_result = outcome.gum
+        return plan.finalize(outcome.gum.data, outcome.decode_rng)
 
     def _project_one_way(self, attr: str) -> np.ndarray:
         """1-way counts for ``attr`` from the smallest published marginal."""
@@ -190,11 +197,6 @@ class NetDPSyn:
             raise RuntimeError(f"no published marginal covers {attr!r}")
         smallest = min(holders, key=lambda m: m.n_cells)
         return smallest.project((attr,)).counts
-
-    def _restore_schema(self, table: TraceTable) -> TraceTable:
-        """Return the table under the original schema/column order."""
-        columns = {name: table.column(name) for name in self._original_schema.names}
-        return TraceTable(self._original_schema, columns)
 
     # ------------------------------------------------------------ convenience
     def synthesize(self, table: TraceTable, n: int | None = None) -> TraceTable:

@@ -78,6 +78,7 @@ class UserLevelNetDPSyn:
             stage_split=dict(self.config.stage_split),
             encoder=self.config.encoder,
             gum=self.config.gum,
+            engine=self.config.engine,
             initialization=self.config.initialization,
             n_init_marginals=self.config.n_init_marginals,
             key_attr=self.config.key_attr,

@@ -138,13 +138,36 @@ class TraceTable:
         # Densify each column to integer codes, then fold pairwise so the
         # combined key never overflows int64 (codes stay < n after each fold).
         ids = np.zeros(self.n_records, dtype=np.int64)
-        cardinality = 1
         for name in names:
             _, codes = np.unique(self._columns[name], return_inverse=True)
             codes = codes.astype(np.int64)
             _, ids = np.unique(ids * (codes.max() + 1) + codes, return_inverse=True)
             ids = ids.astype(np.int64)
         return ids
+
+    def content_digest(self) -> str:
+        """SHA-256 over column names, dtypes, lengths, and values, in schema order.
+
+        A stable content fingerprint: equal digests mean bit-identical tables
+        (same columns, dtypes, row counts, and values; object columns hash
+        length-prefixed string renderings so values cannot alias separators).
+        Used by the engine's reproducibility tests and benchmarks to compare
+        synthesis outputs across backends.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        for name in self.schema.names:
+            col = self._columns[name]
+            h.update(f"{name}|{col.dtype.str}|{len(col)}|".encode())
+            if col.dtype == object or col.dtype.kind in "US":
+                for value in col:
+                    rendered = str(value).encode()
+                    h.update(f"{len(rendered)}:".encode())
+                    h.update(rendered)
+            else:
+                h.update(np.ascontiguousarray(col).tobytes())
+        return h.hexdigest()
 
     # ------------------------------------------------------------- conversion
     def to_records(self) -> list[dict]:

@@ -1,0 +1,41 @@
+"""The sampling engine: pluggable execution for the post-fit synthesis phase.
+
+Record synthesis (paper §3.4, Algorithm 1 steps 9-11) is pure
+post-processing of the published noisy marginals, so it can be sharded and
+parallelized freely without touching the DP accounting.  This package
+provides:
+
+- :class:`SynthesisPlan` — a picklable capture of everything ``sample()``
+  needs after ``fit()``;
+- serial / thread / process :mod:`backends <repro.engine.backends>` that
+  split the record budget into shards with independent
+  ``SeedSequence``-spawned streams;
+- :func:`execute_plan` — the executor that runs a plan under an
+  :class:`EngineConfig` and merges shard outputs.
+"""
+
+from repro.engine.backends import (
+    Backend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+)
+from repro.engine.config import BACKENDS, EngineConfig
+from repro.engine.executor import ExecutionResult, execute_plan
+from repro.engine.plan import ShardResult, SynthesisPlan, shard_sizes
+
+__all__ = [
+    "BACKENDS",
+    "Backend",
+    "EngineConfig",
+    "ExecutionResult",
+    "ProcessBackend",
+    "SerialBackend",
+    "ShardResult",
+    "SynthesisPlan",
+    "ThreadBackend",
+    "execute_plan",
+    "get_backend",
+    "shard_sizes",
+]

@@ -1,0 +1,47 @@
+"""Execution configuration of the sampling engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Names of the available execution backends.
+BACKENDS = ("serial", "thread", "process")
+
+
+@dataclass
+class EngineConfig:
+    """How the post-fit sampling phase executes.
+
+    Record synthesis is pure post-processing (paper §3.4): once the noisy
+    marginals are published, no additional privacy budget is spent, so the
+    ``n``-record budget can be split into shards and generated on parallel
+    workers without touching the DP accounting.
+    """
+
+    #: ``"serial"`` (in-process loop), ``"thread"`` (ThreadPoolExecutor) or
+    #: ``"process"`` (ProcessPoolExecutor; the plan is pickled to workers).
+    backend: str = "serial"
+    #: Number of independent GUM shards the record budget is split into.
+    shards: int = 1
+    #: Worker cap for the thread/process backends (default: one per shard).
+    max_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
+
+    def override(
+        self, shards: int | None = None, backend: str | None = None
+    ) -> "EngineConfig":
+        """A copy with per-call overrides applied (``None`` keeps the field)."""
+        return EngineConfig(
+            backend=self.backend if backend is None else backend,
+            shards=self.shards if shards is None else shards,
+            max_workers=self.max_workers,
+        )

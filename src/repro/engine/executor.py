@@ -1,0 +1,139 @@
+"""The engine executor: shard the record budget, run backends, merge results.
+
+RNG policy (reproducibility contract):
+
+- ``shards=1``: the caller's generator is used directly for initialization,
+  GUM, and (continuing the same stream) decoding — with the serial backend
+  and the reference GUM update this reproduces the pre-engine ``sample()``
+  bit for bit.
+- ``shards>1``: per-shard streams are spawned from a
+  :class:`numpy.random.SeedSequence` (children ``0..shards-1``; child
+  ``shards`` drives decoding), so shard outputs are independent of the
+  backend and of each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.backends import get_backend
+from repro.engine.config import EngineConfig
+from repro.engine.plan import ShardResult, SynthesisPlan, shard_sizes
+from repro.synthesis.gum import GumResult
+from repro.utils.rng import ensure_rng
+from repro.utils.timer import Timer
+
+
+@dataclass
+class ExecutionResult:
+    """Merged engine output: the aggregate GumResult plus the decode stream."""
+
+    gum: GumResult
+    decode_rng: np.random.Generator
+
+
+def _derive_streams(
+    rng, shards: int
+) -> tuple[list[np.random.Generator], np.random.Generator | None]:
+    """Per-shard generators plus the decode generator.
+
+    Returns ``decode_rng=None`` for single-shard runs: the shard's generator
+    itself (after synthesis) continues into decoding, preserving the legacy
+    single-stream behavior.
+    """
+    if shards == 1:
+        if isinstance(rng, np.random.SeedSequence):
+            return [np.random.default_rng(rng)], None
+        return [ensure_rng(rng)], None
+    if isinstance(rng, np.random.SeedSequence):
+        seq = rng
+    elif rng is None:
+        seq = np.random.SeedSequence()
+    elif isinstance(rng, (int, np.integer)):
+        seq = np.random.SeedSequence(int(rng))
+    else:
+        # A caller-owned generator: draw one entropy word (deterministic in
+        # the generator's state) to root the shard tree.
+        seq = np.random.SeedSequence(int(ensure_rng(rng).integers(0, 2**63 - 1)))
+    children = seq.spawn(shards + 1)
+    shard_rngs = [np.random.default_rng(child) for child in children[:shards]]
+    return shard_rngs, np.random.default_rng(children[shards])
+
+
+def _merge_errors(results: list[ShardResult], sizes: list[int]) -> list[float]:
+    """Record-weighted mean error curve; shorter shards hold their last value."""
+    longest = max((len(r.errors) for r in results), default=0)
+    if longest == 0:
+        return []
+    total = float(sum(sizes))
+    merged = []
+    for t in range(longest):
+        num = 0.0
+        for result, size in zip(results, sizes):
+            if not result.errors:
+                continue
+            err = result.errors[min(t, len(result.errors) - 1)]
+            num += err * size
+        merged.append(num / total if total > 0 else 0.0)
+    return merged
+
+
+def execute_plan(
+    plan: SynthesisPlan,
+    config: EngineConfig | None = None,
+    n: int | None = None,
+    rng=None,
+) -> ExecutionResult:
+    """Synthesize ``n`` encoded records under ``config``.
+
+    The returned :class:`ExecutionResult` carries the merged
+    :class:`~repro.synthesis.gum.GumResult` (shard rows concatenated in shard
+    order, per-shard results attached, wall-clock timings filled in) and the
+    generator the caller should decode with.
+    """
+    config = config or EngineConfig()
+    if n is None:
+        n = plan.default_n
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    sizes = shard_sizes(n, config.shards)
+    # Single-shard runs keep the original per-cell update so existing seeds
+    # reproduce the pre-engine output exactly on every backend (the backend
+    # may only move work, never change it); sharded runs use the vectorized
+    # update — new streams, no compatibility to preserve.
+    legacy = config.shards == 1
+    update_mode = plan.gum.resolved_mode("reference" if legacy else "vectorized")
+
+    shard_rngs, decode_rng = _derive_streams(rng, config.shards)
+    backend = get_backend(config.backend, config.max_workers)
+
+    timer = Timer()
+    timer.start()
+    results = backend.run(plan, sizes, shard_rngs, update_mode)
+    data = (
+        results[0].data
+        if len(results) == 1
+        else np.concatenate([r.data for r in results], axis=0)
+    )
+    merged = GumResult(
+        data=data,
+        errors=_merge_errors(results, sizes),
+        iterations_run=max((r.iterations_run for r in results), default=0),
+        seconds=timer.stop(),
+        backend=config.backend,
+        shards=config.shards,
+        shard_results=results,
+    )
+    if decode_rng is None:
+        # Continue the single shard's stream (round-tripped through pickling
+        # for the process backend, so the state is exactly the post-GUM one).
+        decode_rng = results[0].rng
+        if isinstance(rng, np.random.Generator) and decode_rng is not rng:
+            # Process backend advanced a pickled copy; fold the state back
+            # into the caller's generator so every backend mutates it
+            # identically (callers may keep drawing from it afterwards).
+            rng.bit_generator.state = decode_rng.bit_generator.state
+            decode_rng = rng
+    return ExecutionResult(gum=merged, decode_rng=decode_rng)

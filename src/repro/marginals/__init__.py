@@ -1,7 +1,7 @@
 """Marginal tables: computation, selection (DenseMarg), and DP publication."""
 
 from repro.marginals.combine import combine_attr_sets, cover_all_attributes
-from repro.marginals.compute import compute_marginal, marginal_counts
+from repro.marginals.compute import cell_codes, compute_marginal, marginal_counts
 from repro.marginals.indif import independent_difference, noisy_indif_scores
 from repro.marginals.marginal import Marginal
 from repro.marginals.publish import publish_marginals
@@ -10,6 +10,7 @@ from repro.marginals.selection import SelectionResult, select_pairs
 __all__ = [
     "Marginal",
     "SelectionResult",
+    "cell_codes",
     "combine_attr_sets",
     "compute_marginal",
     "cover_all_attributes",

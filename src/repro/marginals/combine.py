@@ -49,9 +49,19 @@ def combine_attr_sets(pairs, domain: Domain, max_cells: int = 10_000) -> list:
             sets.append(union)
             changed = True
 
-    # Drop subsets and duplicates.
+    # Drop subsets and duplicates.  Dedupe preserves list order (the merge
+    # history is deterministic) and the size sort is stable, so the result
+    # never depends on set-iteration order — i.e. on per-process hash
+    # randomization, which used to reorder ties and silently change which
+    # noise draw each published marginal received from run to run.
+    seen: set = set()
+    deduped: list = []
+    for s in sets:
+        if s not in seen:
+            seen.add(s)
+            deduped.append(s)
     unique: list = []
-    for s in sorted(set(sets), key=len, reverse=True):
+    for s in sorted(deduped, key=len, reverse=True):
         if not any(s < u for u in unique):
             unique.append(s)
 

@@ -8,18 +8,31 @@ from repro.binning.encoder import EncodedDataset
 from repro.marginals.marginal import Marginal
 
 
-def marginal_counts(data: np.ndarray, shape: tuple) -> np.ndarray:
-    """Histogram of joint codes: ``data`` is (n, k) ints, shape the domain.
+def cell_codes(data: np.ndarray, shape: tuple) -> np.ndarray:
+    """Flat cell index of every row: ``data`` is (n, k) ints over ``shape``.
 
-    Implemented as ``ravel_multi_index`` + ``bincount`` — the fast path that
-    both marginal publication and the GUM inner loop rely on.
+    The shared primitive under marginal computation and the GUM engine's
+    incremental count maintenance (``ravel_multi_index`` over the row block).
     """
     data = np.asarray(data)
     if data.ndim != 2 or data.shape[1] != len(shape):
         raise ValueError(f"data shape {data.shape} incompatible with domain {shape}")
     if data.shape[0] == 0:
+        return np.zeros(0, dtype=np.int64)
+    return np.ravel_multi_index(tuple(data.T), shape)
+
+
+def marginal_counts(data: np.ndarray, shape: tuple) -> np.ndarray:
+    """Histogram of joint codes: ``data`` is (n, k) ints, shape the domain.
+
+    Implemented as :func:`cell_codes` + ``bincount`` — the fast path that
+    both marginal publication and the GUM inner loop rely on.
+    """
+    if np.asarray(data).shape[0] == 0:
+        # Validate the shape contract even for the empty fast path.
+        cell_codes(data, shape)
         return np.zeros(shape, dtype=np.float64)
-    flat = np.ravel_multi_index(tuple(data.T), shape)
+    flat = cell_codes(data, shape)
     counts = np.bincount(flat, minlength=int(np.prod(shape)))
     return counts.reshape(shape).astype(np.float64)
 

@@ -34,8 +34,8 @@ class UnivMon(Sketch):
         self.levels = levels
         self.top_k = top_k
         self.sketches = [
-            CountSketch(width=max(width >> min(l, 4), 64), depth=depth, rng=child_rngs[l])
-            for l in range(levels)
+            CountSketch(width=max(width >> min(lvl, 4), 64), depth=depth, rng=child_rngs[lvl])
+            for lvl in range(levels)
         ]
         # One sampling hash per level transition.
         self._samplers = MultiplyShiftHasher(levels, 2, child_rngs[-1])
@@ -44,8 +44,8 @@ class UnivMon(Sketch):
     def _level_mask(self, keys: np.ndarray, level: int) -> np.ndarray:
         """Keys surviving the first ``level`` subsampling bits."""
         mask = np.ones(len(keys), dtype=bool)
-        for l in range(level):
-            bit = self._samplers.index(keys)[l] & 1
+        for lvl in range(level):
+            bit = self._samplers.index(keys)[lvl] & 1
             mask &= bit.astype(bool)
         return mask
 

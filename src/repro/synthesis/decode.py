@@ -11,21 +11,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.binning.encoder import DatasetEncoder, EncodedDataset
+from repro.binning.encoder import DatasetEncoder, EncodedDataset, decode_columns
 from repro.consistency.rules import ComparisonRule
+from repro.data.schema import Schema
 from repro.data.table import TraceTable
-from repro.utils.rng import ensure_rng
 
 
-def decode_records(
-    encoded: EncodedDataset,
-    encoder: DatasetEncoder,
-    rng: np.random.Generator | int | None = None,
-    rules: list | None = None,
-) -> TraceTable:
-    """Decode every record, then enforce record-level comparison rules."""
-    rng = ensure_rng(rng)
-    table = encoder.decode(encoded, rng)
+def apply_comparison_rules(table: TraceTable, rules: list | None) -> TraceTable:
+    """Clamp record-level comparison constraints (e.g. ``byt >= pkt``)."""
     for rule in rules or []:
         if not isinstance(rule, ComparisonRule):
             continue
@@ -42,3 +35,37 @@ def decode_records(
             fixed = fixed.astype(np.int64)
         table = table.with_column(rule.left, fixed)
     return table
+
+
+def decode_encoded(
+    data: np.ndarray,
+    attrs: tuple,
+    codecs: dict,
+    schema: Schema,
+    rng: np.random.Generator | int | None = None,
+    rules: list | None = None,
+) -> TraceTable:
+    """Decode an encoded matrix given codecs directly (no encoder object).
+
+    This is the path :class:`repro.engine.SynthesisPlan` uses after sharded
+    synthesis: the plan carries ``codecs``/``schema`` without the fitted
+    :class:`~repro.binning.encoder.DatasetEncoder`.  Shares the decode loop
+    with :meth:`DatasetEncoder.decode`, so the random-stream consumption is
+    identical by construction.
+    """
+    columns = decode_columns(data, attrs, codecs, rng)
+    return apply_comparison_rules(TraceTable(schema, columns), rules)
+
+
+def decode_records(
+    encoded: EncodedDataset,
+    encoder: DatasetEncoder,
+    rng: np.random.Generator | int | None = None,
+    rules: list | None = None,
+) -> TraceTable:
+    """Decode every record, then enforce record-level comparison rules."""
+    if encoder.schema is None:
+        raise RuntimeError("encoder not fitted")
+    return decode_encoded(
+        encoded.data, encoded.attrs, encoder.codecs, encoder.schema, rng, rules
+    )

@@ -13,6 +13,22 @@ approach the published noisy targets.  For each target marginal it:
 
 The update rate decays geometrically so early iterations make large moves
 and later ones fine-tune.
+
+Two implementations of the per-marginal update step exist:
+
+``reference``
+    The original per-cell Python loop, kept verbatim.  Bit-identical to the
+    pre-engine implementation for a fixed seed; the serial engine backend
+    resolves ``update_mode="auto"`` to this path so existing seeds keep
+    producing the exact same traces.
+``vectorized``
+    Bulk ``np.repeat``/``searchsorted`` gathers instead of per-cell loops,
+    plus incremental marginal-count maintenance: each marginal's cell codes
+    and counts are cached across iterations and updated only for the rows a
+    step actually rewrites, instead of recomputing ``bincount`` over all
+    rows on every visit.  Statistically equivalent to ``reference`` (same
+    moves, same free/refill quotas, same duplicate/replace split per cell)
+    but consumes the random stream in bulk, so outputs differ bitwise.
 """
 
 from __future__ import annotations
@@ -22,7 +38,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.data.domain import Domain
+from repro.marginals.compute import cell_codes
 from repro.utils.rng import ensure_rng
+from repro.utils.timer import Timer
+
+#: Valid values of :attr:`GumConfig.update_mode`.
+UPDATE_MODES = ("auto", "vectorized", "reference")
 
 
 @dataclass
@@ -37,15 +58,75 @@ class GumConfig:
     #: for ``patience`` consecutive iterations.
     tol: float = 1e-4
     patience: int = 5
+    #: Which update-step implementation to use: ``"vectorized"``,
+    #: ``"reference"``, or ``"auto"`` (vectorized, except the engine's
+    #: single-shard serial path which resolves to reference for bit-exact
+    #: backward compatibility).
+    update_mode: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.update_mode not in UPDATE_MODES:
+            raise ValueError(
+                f"update_mode must be one of {UPDATE_MODES}, got {self.update_mode!r}"
+            )
+
+    def resolved_mode(self, default: str = "vectorized") -> str:
+        """Resolve ``"auto"`` to the caller's preferred concrete mode."""
+        if default not in ("vectorized", "reference"):
+            raise ValueError(f"invalid default mode {default!r}")
+        return default if self.update_mode == "auto" else self.update_mode
 
 
 @dataclass
 class GumResult:
-    """Synthesized encoded rows plus the convergence trace."""
+    """Synthesized encoded rows plus the convergence trace and timings."""
 
     data: np.ndarray
     errors: list = field(default_factory=list)
     iterations_run: int = 0
+    #: Wall-clock seconds of the GUM loop; for engine runs this is the whole
+    #: sampling phase (initialization + GUM across all shards).
+    seconds: float = 0.0
+    #: Execution provenance (filled in by :mod:`repro.engine` for sharded runs).
+    backend: str = "serial"
+    shards: int = 1
+    #: Per-shard results when this result merges a sharded run.
+    shard_results: list = field(default_factory=list)
+
+    @property
+    def records_per_second(self) -> float:
+        """Synthesis throughput (0 when the run was not timed)."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.data.shape[0] / self.seconds
+
+
+class _MarginalState:
+    """One target marginal plus its incrementally maintained current state."""
+
+    __slots__ = ("axes", "shape", "target", "codes", "counts")
+
+    def __init__(self, axes: np.ndarray, shape: tuple, target: np.ndarray) -> None:
+        self.axes = axes
+        self.shape = shape
+        self.target = target
+        self.codes: np.ndarray | None = None
+        self.counts: np.ndarray | None = None
+
+    def init_cache(self, data: np.ndarray) -> None:
+        """Compute cell codes and counts once; steps update them in place."""
+        self.codes = cell_codes(data[:, self.axes], self.shape)
+        self.counts = np.bincount(self.codes, minlength=self.target.size).astype(
+            np.float64
+        )
+
+    def apply_row_updates(self, rows: np.ndarray, new_rows: np.ndarray) -> None:
+        """Re-code ``rows`` (now holding ``new_rows``) and patch the counts."""
+        new = cell_codes(new_rows[:, self.axes], self.shape)
+        old = self.codes[rows]
+        size = self.target.size
+        self.counts += np.bincount(new, minlength=size) - np.bincount(old, minlength=size)
+        self.codes[rows] = new
 
 
 def run_gum(
@@ -67,15 +148,21 @@ def run_gum(
     n = data.shape[0]
     if n == 0 or not targets:
         return GumResult(data=data, errors=[], iterations_run=0)
+    mode = config.resolved_mode()
 
-    prepared = []
+    timer = Timer()
+    timer.start()
+    states = []
     for m in targets:
         axes = np.array([attrs.index(a) for a in m.attrs])
         shape = domain.shape(m.attrs)
         flat_target = np.clip(m.flat(), 0.0, None)
         total = flat_target.sum()
         scale = n / total if total > 0 else 0.0
-        prepared.append((axes, shape, flat_target * scale))
+        states.append(_MarginalState(axes, shape, flat_target * scale))
+    if mode == "vectorized":
+        for state in states:
+            state.init_cache(data)
 
     errors: list[float] = []
     stall = 0
@@ -83,11 +170,16 @@ def run_gum(
     iterations_run = 0
     for t in range(config.iterations):
         alpha = config.alpha * config.alpha_decay**t
-        order = rng.permutation(len(prepared))
+        order = rng.permutation(len(states))
         iter_errors = []
         for k in order:
-            axes, shape, target = prepared[k]
-            err = _update_marginal(data, axes, shape, target, alpha, config, rng)
+            state = states[k]
+            if mode == "reference":
+                err = _update_marginal(
+                    data, state.axes, state.shape, state.target, alpha, config, rng
+                )
+            else:
+                err = _update_marginal_vectorized(data, states, k, alpha, config, rng)
             iter_errors.append(err)
         mean_err = float(np.mean(iter_errors))
         errors.append(mean_err)
@@ -99,7 +191,12 @@ def run_gum(
         else:
             stall = 0
         best = min(best, mean_err)
-    return GumResult(data=data, errors=errors, iterations_run=iterations_run)
+    return GumResult(
+        data=data,
+        errors=errors,
+        iterations_run=iterations_run,
+        seconds=timer.stop(),
+    )
 
 
 def _update_marginal(
@@ -111,7 +208,12 @@ def _update_marginal(
     config: GumConfig,
     rng: np.random.Generator,
 ) -> float:
-    """One GUM step against one marginal; returns its pre-update L1 error."""
+    """One GUM step against one marginal; returns its pre-update L1 error.
+
+    This is the reference implementation — per-cell loops, counts recomputed
+    from scratch.  It must stay bit-identical to the pre-engine code: the
+    compatibility tests pin its output digest.
+    """
     n = data.shape[0]
     codes = np.ravel_multi_index(tuple(data[:, axes].T), shape)
     current = np.bincount(codes, minlength=target.size).astype(np.float64)
@@ -171,4 +273,114 @@ def _update_marginal(
             coords = np.unravel_index(cell, shape)
             for axis, value in zip(axes, coords):
                 data[slots[n_dup:], axis] = value
+    return pre_error
+
+
+def _segment_gather(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenate ``[starts[i], starts[i] + lengths[i])`` ranges, vectorized.
+
+    The bulk equivalent of ``np.concatenate([arange(s, s + l) ...])`` built
+    from ``np.repeat`` + one ``arange`` — the gather primitive behind the
+    vectorized free/refill steps.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    seg_offsets = np.cumsum(lengths) - lengths
+    base = np.repeat(np.asarray(starts, dtype=np.int64) - seg_offsets, lengths)
+    return base + np.arange(total, dtype=np.int64)
+
+
+def _update_marginal_vectorized(
+    data: np.ndarray,
+    states: list,
+    k: int,
+    alpha: float,
+    config: GumConfig,
+    rng: np.random.Generator,
+) -> float:
+    """One GUM step against marginal ``k``, with bulk gathers everywhere.
+
+    Semantically matches :func:`_update_marginal` (same quotas, same
+    duplicate/replace split, same sequential-write semantics — freed rows and
+    duplication sources are provably disjoint, so the all-at-once writes equal
+    the reference's cell-by-cell writes) but touches every marginal's cached
+    codes/counts instead of recomputing bincounts.
+    """
+    state = states[k]
+    n = data.shape[0]
+    codes = state.codes
+    diff = state.target - state.counts
+    pre_error = float(np.abs(diff).sum()) / (2.0 * n)
+
+    excess = np.clip(-diff, 0.0, None)
+    deficit = np.clip(diff, 0.0, None)
+    excess_total = excess.sum()
+    deficit_total = deficit.sum()
+    moves = int(round(alpha * min(excess_total, deficit_total)))
+    if moves <= 0:
+        return pre_error
+
+    perm = rng.permutation(n)
+    sort_order = np.argsort(codes[perm], kind="stable")
+    rows_by_cell = perm[sort_order]
+    sorted_codes = codes[perm][sort_order]
+
+    # --- free rows from over-represented cells (bulk) ----------------------
+    over_cells = np.nonzero(excess > 0)[0]
+    over_quota = rng.multinomial(moves, excess[over_cells] / excess_total)
+    lo = np.searchsorted(sorted_codes, over_cells, side="left")
+    hi = np.searchsorted(sorted_codes, over_cells, side="right")
+    cap = np.where(
+        excess[over_cells] >= 1.0,
+        np.minimum(over_quota, np.floor(excess[over_cells]).astype(np.int64)),
+        over_quota,
+    )
+    take = np.minimum(cap, hi - lo)
+    if int(take.sum()) <= 0:
+        return pre_error
+    freed = rows_by_cell[_segment_gather(lo, take)]
+    rng.shuffle(freed)
+
+    # --- refill freed rows for under-represented cells (bulk) ---------------
+    under_cells = np.nonzero(deficit > 0)[0]
+    fill_quota = rng.multinomial(len(freed), deficit[under_cells] / deficit_total)
+    nz = fill_quota > 0
+    cells_nz = under_cells[nz]
+    quota_nz = fill_quota[nz].astype(np.int64)
+    lo_u = np.searchsorted(sorted_codes, cells_nz, side="left")
+    hi_u = np.searchsorted(sorted_codes, cells_nz, side="right")
+    match = hi_u - lo_u
+    n_dup = np.where(
+        match > 0,
+        np.minimum(
+            np.rint(quota_nz * config.duplicate_fraction).astype(np.int64), quota_nz
+        ),
+        0,
+    )
+    seg_start = np.cumsum(quota_nz) - quota_nz
+
+    dup_slots = _segment_gather(seg_start, n_dup)
+    if len(dup_slots):
+        match_per = np.repeat(match, n_dup)
+        lo_per = np.repeat(lo_u, n_dup)
+        offsets = np.minimum(
+            (rng.random(len(dup_slots)) * match_per).astype(np.int64), match_per - 1
+        )
+        sources = rows_by_cell[lo_per + offsets]
+        data[freed[dup_slots]] = data[sources]
+
+    repl_slots = _segment_gather(seg_start + n_dup, quota_nz - n_dup)
+    if len(repl_slots):
+        cell_per = np.repeat(cells_nz, quota_nz - n_dup)
+        coords = np.unravel_index(cell_per, state.shape)
+        rows_repl = freed[repl_slots]
+        for axis, values in zip(state.axes, coords):
+            data[rows_repl, axis] = values
+
+    # --- incremental count/code maintenance for every marginal --------------
+    new_rows = data[freed]
+    for other in states:
+        other.apply_row_updates(freed, new_rows)
     return pre_error

@@ -35,3 +35,34 @@ def spawn_rngs(rng: int | np.random.Generator | None, count: int) -> list[np.ran
     parent = ensure_rng(rng)
     seeds = parent.integers(0, 2**63 - 1, size=count, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+#: Namespace tag for seed sequences we derive from caller-owned generators,
+#: so our spawns never collide with children the caller spawns themselves.
+_DERIVED_SPAWN_KEY = 0x6E646473  # "ndds"
+
+
+def make_seed_sequence(
+    rng: int | np.random.Generator | np.random.SeedSequence | None = None,
+) -> np.random.SeedSequence:
+    """Build a :class:`numpy.random.SeedSequence` from any seed expression.
+
+    Unlike :func:`ensure_rng` this never draws from ``rng``: given a
+    :class:`~numpy.random.Generator` it reuses the generator's own entropy
+    (under a private spawn key, so the caller's stream and future spawns are
+    untouched).  Components that must re-derive reproducible per-call or
+    per-shard streams (see :mod:`repro.engine`) store one of these instead of
+    sharing a mutable generator.
+    """
+    if isinstance(rng, np.random.SeedSequence):
+        return rng
+    if isinstance(rng, np.random.Generator):
+        base = getattr(rng.bit_generator, "seed_seq", None)
+        if isinstance(base, np.random.SeedSequence) and base.entropy is not None:
+            return np.random.SeedSequence(
+                entropy=base.entropy,
+                spawn_key=tuple(base.spawn_key) + (_DERIVED_SPAWN_KEY,),
+            )
+        # Exotic bit generator without a recoverable seed: fresh OS entropy.
+        return np.random.SeedSequence()
+    return np.random.SeedSequence(rng)

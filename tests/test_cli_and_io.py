@@ -3,7 +3,6 @@
 import json
 
 import numpy as np
-import pytest
 
 from repro import NetDPSyn, SynthesisConfig, load_dataset
 from repro.data import read_csv, write_csv

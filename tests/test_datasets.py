@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.data.schema import FieldKind
 from repro.datasets import DATASET_INFO, get_generator, load_dataset
 from repro.datasets.packets import draw_flow_sizes, expand_flows
 

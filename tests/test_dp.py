@@ -1,7 +1,5 @@
 """Unit tests for the DP primitives (accounting, mechanisms, allocation, RDP)."""
 
-import math
-
 import numpy as np
 import pytest
 from hypothesis import given, settings

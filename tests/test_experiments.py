@@ -5,7 +5,6 @@ these tests only validate the plumbing (shapes, N/A handling, caching) with
 minimal record counts and iteration budgets.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import ExperimentScale, clear_cache, synthesize_cached

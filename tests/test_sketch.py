@@ -115,7 +115,7 @@ class TestUnivMon:
         keys = np.arange(4096)
         um = UnivMon(levels=6, width=256, depth=3, rng=1)
         um.update(keys)
-        masks = [um._level_mask(keys, l).sum() for l in range(4)]
+        masks = [um._level_mask(keys, lvl).sum() for lvl in range(4)]
         # Each level keeps roughly half the previous one.
         for a, b in zip(masks, masks[1:]):
             assert b < a
