@@ -8,6 +8,7 @@ default budget (epsilon=2, delta=1e-5) and prints before/after statistics.
 """
 
 import collections
+import os
 
 import numpy as np
 
@@ -24,10 +25,24 @@ def main() -> None:
     synthetic = synthesizer.synthesize(raw)
     print(f"synthetic trace: {synthetic.n_records} flows")
 
+    print("\nfit-stage timings (synthesizer.fit_report):")
+    for line in synthesizer.fit_report.lines():
+        print(f"  {line}")
+
     ledger = synthesizer.ledger
     print(f"\nprivacy ledger (rho-zCDP): total={ledger.total:.4f}")
     for purpose, rho in ledger.entries():
         print(f"  {purpose:<32s} rho={rho:.4f}")
+
+    # Fit once, sample anywhere: the saved model file carries everything a
+    # stateless worker needs, and samples bit-identically to this instance.
+    model_path = "quickstart-model.ndpsyn"
+    synthesizer.save(model_path)
+    loaded = NetDPSyn.load(model_path)
+    check = loaded.sample(1000, rng=42)
+    same = check.content_digest() == synthesizer.sample(1000, rng=42).content_digest()
+    print(f"\nsaved model round trip ({model_path}): bit-identical={same}")
+    os.unlink(model_path)
 
     print(f"\nselected 2-way marginals: {len(synthesizer.selection.pairs)}")
     print("published marginal tables:")

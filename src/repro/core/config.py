@@ -31,6 +31,13 @@ class SynthesisConfig:
     #: Execution of the (post-processing) sampling phase: backend and shard
     #: count; ``sample(shards=..., backend=...)`` overrides per call.
     engine: EngineConfig = field(default_factory=EngineConfig)
+    #: Execution of the exact-count work inside ``fit()`` (the InDif pair
+    #: scan and marginal publication).  ``None`` keeps the inline serial
+    #: reference path; an :class:`EngineConfig` fans the exact counts out
+    #: across ``max_workers`` workers of the named backend (``shards`` is
+    #: ignored) using the batched cell-code kernel.  All noise stays on the
+    #: single fit rng stream either way, so fit output is bit-identical.
+    fit_engine: EngineConfig | None = None
     #: "gummi" (marginal initialization, the paper's method) or "random"
     #: (plain GUM, the PrivSyn baseline used in the Fig. 8 ablation).
     initialization: str = "gummi"

@@ -18,32 +18,65 @@ Everything after step 7 is post-processing: the released trace satisfies the
 same ``(epsilon, delta)``-DP as the published marginals (zCDP composition,
 tracked by the :class:`~repro.dp.accountant.BudgetLedger`).
 
+Steps 1-8 run as the staged :mod:`repro.pipeline` (Binning → Selection →
+Combine → Publish → Consistency) threading an explicit
+:class:`~repro.pipeline.FitContext`; per-stage wall-clock timings surface as
+:attr:`NetDPSyn.fit_report`, and ``config.fit_engine`` fans the exact-count
+work out across workers without touching the noise stream.
+
 Steps 9-11 run on the :mod:`repro.engine` sampling engine: ``fit()`` freezes
 a picklable :class:`~repro.engine.SynthesisPlan` and ``sample()`` executes it
 on a serial, thread, or process backend, optionally sharded — post-processing
 parallelism is free under DP.
+
+A fitted model round-trips through :meth:`NetDPSyn.save` /
+:meth:`NetDPSyn.load` (see :mod:`repro.io`): the loaded instance samples
+bit-identically to the original, so fit-once/sample-anywhere deployments can
+ship the model file to stateless workers.
 """
 
 from __future__ import annotations
 
-from itertools import combinations
+import os
 
 import numpy as np
 
-from repro.binning.encoder import DatasetEncoder, EncodedDataset
-from repro.consistency.engine import postprocess_marginals
-from repro.consistency.rules import build_default_rules
+from repro.binning.encoder import EncodedDataset
 from repro.core.config import SynthesisConfig
-from repro.data.schema import FieldKind
 from repro.data.table import TraceTable
 from repro.dp.accountant import BudgetLedger
 from repro.dp.allocation import split_budget
-from repro.engine import SynthesisPlan, execute_plan
-from repro.marginals.combine import combine_attr_sets, cover_all_attributes
-from repro.marginals.indif import noisy_indif_scores
-from repro.marginals.publish import publish_marginals
-from repro.marginals.selection import select_pairs
+from repro.engine import EngineConfig, SynthesisPlan, execute_plan, get_backend
+from repro.pipeline import FitContext, FitPipeline, FitReport
 from repro.utils.rng import ensure_rng, make_seed_sequence
+from repro.utils.timer import Timer
+
+
+def _fit_executor(engine: EngineConfig | None):
+    """Resolve ``config.fit_engine`` into ``(backend, name, workers)``.
+
+    ``None`` means the inline serial reference path (no executor at all);
+    otherwise ``max_workers`` defaults to the machine's core count.
+    """
+    if engine is None:
+        return None, None, None
+    workers = engine.max_workers or (os.cpu_count() or 1)
+    return get_backend(engine.backend, max_workers=workers), engine.backend, workers
+
+
+def smallest_marginal_index(published: list) -> dict:
+    """Attr -> smallest published marginal covering it, in one scan.
+
+    Ties keep the earliest marginal in publication order — the same choice
+    ``min(..., key=n_cells)`` over a fresh rescan used to make per attribute.
+    """
+    index: dict = {}
+    for marginal in published:
+        for attr in marginal.attrs:
+            current = index.get(attr)
+            if current is None or marginal.n_cells < current.n_cells:
+                index[attr] = marginal
+    return index
 
 
 class NetDPSyn:
@@ -72,98 +105,89 @@ class NetDPSyn:
         # call index alone, regardless of what else consumed the shared rng.
         self._seed_seq = make_seed_sequence(rng)
         self.ledger: BudgetLedger | None = None
-        self.encoder: DatasetEncoder | None = None
+        self.encoder = None
         self.selection = None
         self.published: list = []
         self.gum_result = None
+        self.fit_report: FitReport | None = None
         self._template: EncodedDataset | None = None
         self._original_schema = None
         self._key_attr: str | None = None
+        self._rules: list | None = None
         self._plan: SynthesisPlan | None = None
 
     # -------------------------------------------------------------------- fit
     def fit(self, table: TraceTable) -> "NetDPSyn":
-        """Run the private phases (steps 1-8) on the raw trace."""
+        """Run the private phases (steps 1-8) as the staged pipeline."""
         cfg = self.config
-        rng = self._rng
-        self._original_schema = table.schema
+        timer = Timer()
+        timer.start()
         self.ledger = BudgetLedger.from_eps_delta(cfg.epsilon, cfg.delta)
-        stages = split_budget(self.ledger.total, cfg.stage_split)
-
-        # Steps 1-4: binning (type-dependent, tsdiff, noisy 1-ways, merging).
-        rho_bin = self.ledger.spend(stages["binning"], "frequency-dependent binning")
-        self.encoder = DatasetEncoder(cfg.encoder).fit(table, rho_bin, rng)
-        encoded = self.encoder.encode(table)
-        self._template = encoded.replace_data(np.empty((0, len(encoded.attrs)), dtype=np.int32))
-
-        # Step 5: marginal selection via noisy InDif.
-        rho_sel = self.ledger.spend(stages["selection"], "marginal selection")
-        pairs = list(combinations(encoded.attrs, 2))
-        indif = noisy_indif_scores(encoded, rho_sel, rng, pairs=pairs)
-        cells = {p: encoded.domain.cells(p) for p in pairs}
-        self.selection = select_pairs(
-            indif, cells, stages["publish"], max_pairs=cfg.max_pairs
+        executor, backend_name, workers = _fit_executor(cfg.fit_engine)
+        ctx = FitContext(
+            table=table,
+            config=cfg,
+            rng=self._rng,
+            ledger=self.ledger,
+            executor=executor,
+            stage_budgets=split_budget(self.ledger.total, cfg.stage_split),
         )
+        FitPipeline().run(ctx)
 
-        # Step 6: combine small overlapping marginals; cover every attribute.
-        attr_sets = combine_attr_sets(
-            self.selection.pairs, encoded.domain, max_cells=cfg.max_combined_cells
-        )
-        attr_sets = cover_all_attributes(attr_sets, encoded.domain)
-
-        # Step 7: publish.
-        rho_pub = self.ledger.spend(stages["publish"], "marginal publication")
-        raw_published = publish_marginals(
-            encoded, attr_sets, rho_pub, rng, weighted=cfg.weighted_allocation
-        )
-
-        # Step 8: post-processing (free).
-        rules = cfg.rules if cfg.rules is not None else build_default_rules(
-            self.encoder.schema, tau=cfg.tau
-        )
-        self._rules = rules
-        self.published = postprocess_marginals(
-            raw_published, self.encoder.codecs, rules, rounds=cfg.consistency_rounds
-        )
-        self._key_attr = self._resolve_key_attr()
+        self._original_schema = ctx.original_schema
+        self.encoder = ctx.encoder
+        self._template = ctx.template
+        self.selection = ctx.selection
+        self.published = ctx.published
+        self._rules = ctx.rules
+        self._key_attr = ctx.key_attr
         self._plan = None
+        self.fit_report = FitReport(
+            stage_seconds=dict(ctx.timings),
+            total_seconds=timer.stop(),
+            backend=backend_name,
+            workers=workers,
+            n_records=table.n_records,
+            n_pairs=len(ctx.pairs),
+            n_marginals=len(ctx.published),
+        )
         return self
-
-    def _resolve_key_attr(self) -> str:
-        """The GUMMI anchor: configured key, else the label, else a category."""
-        if self.config.key_attr is not None:
-            return self.config.key_attr
-        schema = self.encoder.schema
-        label = schema.label_field
-        if label is not None:
-            return label.name
-        for spec in schema:
-            if spec.kind is FieldKind.CATEGORICAL:
-                return spec.name
-        return schema.names[0]
 
     # ------------------------------------------------------------------ plan
     def plan(self) -> SynthesisPlan:
-        """The picklable sampling plan (steps 9-11 inputs), built lazily."""
+        """The picklable sampling plan (steps 9-11 inputs), built lazily.
+
+        A loaded model (:meth:`load`) carries the frozen plan directly and
+        needs no encoder; a freshly fitted instance builds the plan from the
+        fit outputs on first use.
+        """
+        if self._plan is not None:
+            return self._plan
         if self.encoder is None or self._template is None:
             raise RuntimeError("fit() must be called before sample()/plan()")
-        if self._plan is None:
-            attrs = self._template.attrs
-            one_way = {a: self._project_one_way(a) for a in attrs}
-            self._plan = SynthesisPlan(
-                attrs=attrs,
-                domain=self._template.domain,
-                published=self.published,
-                one_way=one_way,
-                codecs=self.encoder.codecs,
-                schema=self.encoder.schema,
-                original_schema=self._original_schema,
-                rules=self._rules,
-                key_attr=self._key_attr,
-                gum=self.config.gum,
-                initialization=self.config.initialization,
-                n_init_marginals=self.config.n_init_marginals,
-            )
+        attrs = self._template.attrs
+        # One scan over the published marginals instead of a rescan per
+        # attribute: the plan is frozen here, so the index is built exactly
+        # once per fit.
+        smallest = smallest_marginal_index(self.published)
+        missing = [a for a in attrs if a not in smallest]
+        if missing:
+            raise RuntimeError(f"no published marginal covers {missing[0]!r}")
+        one_way = {a: smallest[a].project((a,)).counts for a in attrs}
+        self._plan = SynthesisPlan(
+            attrs=attrs,
+            domain=self._template.domain,
+            published=self.published,
+            one_way=one_way,
+            codecs=self.encoder.codecs,
+            schema=self.encoder.schema,
+            original_schema=self._original_schema,
+            rules=self._rules,
+            key_attr=self._key_attr,
+            gum=self.config.gum,
+            initialization=self.config.initialization,
+            n_init_marginals=self.config.n_init_marginals,
+        )
         return self._plan
 
     # ----------------------------------------------------------------- sample
@@ -190,13 +214,24 @@ class NetDPSyn:
         self.gum_result = outcome.gum
         return plan.finalize(outcome.gum.data, outcome.decode_rng)
 
-    def _project_one_way(self, attr: str) -> np.ndarray:
-        """1-way counts for ``attr`` from the smallest published marginal."""
-        holders = [m for m in self.published if attr in m.attrs]
-        if not holders:
-            raise RuntimeError(f"no published marginal covers {attr!r}")
-        smallest = min(holders, key=lambda m: m.n_cells)
-        return smallest.project((attr,)).counts
+    # ----------------------------------------------------------- persistence
+    def save(self, path) -> "os.PathLike | str":
+        """Write the fitted model to ``path`` (see :mod:`repro.io`).
+
+        The file carries the frozen plan, config, ledger report, fit report,
+        and sampling seed sequence; :meth:`load` restores an instance whose
+        ``sample(n, rng=s)`` is bit-identical to this one's.
+        """
+        from repro.io.model import save_model
+
+        return save_model(self, path)
+
+    @classmethod
+    def load(cls, path) -> "NetDPSyn":
+        """Restore a fitted model written by :meth:`save`."""
+        from repro.io.model import load_model
+
+        return load_model(path)
 
     # ------------------------------------------------------------ convenience
     def synthesize(self, table: TraceTable, n: int | None = None) -> TraceTable:

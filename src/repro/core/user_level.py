@@ -79,6 +79,7 @@ class UserLevelNetDPSyn:
             encoder=self.config.encoder,
             gum=self.config.gum,
             engine=self.config.engine,
+            fit_engine=self.config.fit_engine,
             initialization=self.config.initialization,
             n_init_marginals=self.config.n_init_marginals,
             key_attr=self.config.key_attr,

@@ -7,9 +7,10 @@ provides:
 
 - :class:`SynthesisPlan` — a picklable capture of everything ``sample()``
   needs after ``fit()``;
-- serial / thread / process :mod:`backends <repro.engine.backends>` that
-  split the record budget into shards with independent
-  ``SeedSequence``-spawned streams;
+- serial / thread / process :mod:`backends <repro.engine.backends>` exposing
+  a generic map-style :meth:`~repro.engine.backends.Backend.run_tasks` (used
+  by the fit pipeline's exact-count fan-out) plus the shard runner that
+  splits the record budget with independent ``SeedSequence``-spawned streams;
 - :func:`execute_plan` — the executor that runs a plan under an
   :class:`EngineConfig` and merges shard outputs.
 """
@@ -20,6 +21,7 @@ from repro.engine.backends import (
     SerialBackend,
     ThreadBackend,
     get_backend,
+    scatter_map,
 )
 from repro.engine.config import BACKENDS, EngineConfig
 from repro.engine.executor import ExecutionResult, execute_plan
@@ -37,5 +39,6 @@ __all__ = [
     "ThreadBackend",
     "execute_plan",
     "get_backend",
+    "scatter_map",
     "shard_sizes",
 ]

@@ -1,36 +1,70 @@
-"""Execution backends: serial, thread, and process shard runners.
+"""Execution backends: a generic map-style task executor, serial/thread/process.
 
-Every backend receives the same ``(plan, sizes, rngs, update_mode)`` inputs
-and must return shard results in shard order.  Because each shard's output is
-a pure function of ``(plan, size, generator state)``, all backends produce
-bit-identical results for the same seeds — the only thing that changes is
-where the work runs.
+Every backend implements :meth:`Backend.run_tasks` — run a module-level
+function over a list of argument tuples, returning results in task order —
+plus the shard-oriented :meth:`Backend.run` used by the sampling engine,
+which is a thin wrapper over ``run_tasks``.  Because every task result is a
+pure function of its inputs, all backends produce identical results for the
+same inputs; the only thing that changes is where the work runs.
+
+A ``shared`` payload (e.g. the encoded data matrix, or the synthesis plan)
+is passed to every task as its first argument.  The process backend ships it
+to workers **once** — via fork inheritance where the start method allows it,
+or via the pool initializer otherwise — instead of pickling it per task.
 """
 
 from __future__ import annotations
 
 import abc
+import multiprocessing
+import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.engine.config import BACKENDS
-from repro.engine.plan import ShardResult, SynthesisPlan
+
+if TYPE_CHECKING:  # import would cycle through plan -> synthesis -> marginals
+    from repro.engine.plan import ShardResult, SynthesisPlan
+
+#: Worker-side shared payload for :meth:`ProcessBackend.run_tasks` under the
+#: fork start method: workers fork during ``submit`` and inherit the value
+#: (spawn/forkserver ship it via the pool initializer instead).  The parent
+#: only mutates it — and only submits, since that is where forks happen —
+#: while holding :data:`_TASK_SHARED_LOCK`, so concurrent pools on different
+#: threads can never fork a worker carrying another pool's payload.
+_TASK_SHARED = None
+_TASK_SHARED_LOCK = threading.Lock()
 
 
-def _run_shard(
+def _set_task_shared(value) -> None:
+    global _TASK_SHARED
+    _TASK_SHARED = value
+
+
+def _call_task(fn, args):
+    """Invoke one task against the worker's shared payload.
+
+    Module-level so the process backend can pickle it; ``fn`` itself must be
+    a module-level callable for the same reason.
+    """
+    return fn(_TASK_SHARED, *args)
+
+
+def _run_shard_task(
     plan: SynthesisPlan,
     n: int,
     rng: np.random.Generator,
     index: int,
     update_mode: str,
 ) -> ShardResult:
-    """Module-level shard worker (must be picklable for the process pool)."""
+    """GUM shard synthesis as a ``run_tasks`` task; ``shared`` is the plan."""
     return plan.run_shard(n, rng, index=index, update_mode=update_mode)
 
 
 class Backend(abc.ABC):
-    """A strategy for running independent shard synthesis jobs."""
+    """A strategy for running independent, order-indexed jobs."""
 
     name: str = "abstract"
 
@@ -38,6 +72,26 @@ class Backend(abc.ABC):
         self.max_workers = max_workers
 
     @abc.abstractmethod
+    def run_tasks(self, fn, tasks: list[tuple], shared=None) -> list:
+        """Map ``fn(shared, *task)`` over ``tasks``; results in task order.
+
+        ``fn`` must be a module-level (picklable) callable and every task a
+        tuple of picklable arguments.  ``shared`` is a read-only payload each
+        task receives as its first argument.
+        """
+
+    def open(self, shared=None) -> None:
+        """Bind a persistent worker pool to ``shared`` (optional).
+
+        Subsequent ``run_tasks(..., shared=<the same object>)`` calls reuse
+        the pool instead of paying startup per call; other payloads still get
+        a per-call pool.  Callers that ``open()`` must ``close()`` (the fit
+        pipeline does both).  No-op for in-process backends.
+        """
+
+    def close(self) -> None:
+        """Tear down the persistent pool opened by :meth:`open`, if any."""
+
     def run(
         self,
         plan: SynthesisPlan,
@@ -45,27 +99,29 @@ class Backend(abc.ABC):
         rngs: list[np.random.Generator],
         update_mode: str,
     ) -> list[ShardResult]:
-        """Run one shard per ``(size, rng)`` pair; results in shard order."""
+        """Run one GUM shard per ``(size, rng)`` pair; results in shard order."""
+        tasks = [
+            (n, rng, index, update_mode)
+            for index, (n, rng) in enumerate(zip(sizes, rngs))
+        ]
+        return self.run_tasks(_run_shard_task, tasks, shared=plan)
 
-    def _workers(self, n_shards: int) -> int:
-        limit = self.max_workers if self.max_workers is not None else n_shards
-        return max(1, min(limit, n_shards))
+    def _workers(self, n_tasks: int) -> int:
+        limit = self.max_workers if self.max_workers is not None else n_tasks
+        return max(1, min(limit, n_tasks))
 
 
 class SerialBackend(Backend):
-    """Run every shard in the calling thread, one after another."""
+    """Run every task in the calling thread, one after another."""
 
     name = "serial"
 
-    def run(self, plan, sizes, rngs, update_mode):
-        return [
-            _run_shard(plan, n, rng, index, update_mode)
-            for index, (n, rng) in enumerate(zip(sizes, rngs))
-        ]
+    def run_tasks(self, fn, tasks, shared=None):
+        return [fn(shared, *task) for task in tasks]
 
 
 class ThreadBackend(Backend):
-    """Run shards on a thread pool.
+    """Run tasks on a thread pool.
 
     NumPy releases the GIL inside the heavy kernels (sort, bincount,
     gather), so threads overlap part of the work without any pickling cost;
@@ -74,32 +130,118 @@ class ThreadBackend(Backend):
 
     name = "thread"
 
-    def run(self, plan, sizes, rngs, update_mode):
-        with ThreadPoolExecutor(max_workers=self._workers(len(sizes))) as pool:
-            futures = [
-                pool.submit(_run_shard, plan, n, rng, index, update_mode)
-                for index, (n, rng) in enumerate(zip(sizes, rngs))
-            ]
+    def run_tasks(self, fn, tasks, shared=None):
+        if not tasks:
+            return []
+        with ThreadPoolExecutor(max_workers=self._workers(len(tasks))) as pool:
+            futures = [pool.submit(fn, shared, *task) for task in tasks]
             return [f.result() for f in futures]
 
 
 class ProcessBackend(Backend):
-    """Run shards on a process pool.
+    """Run tasks on a process pool.
 
-    The plan and each shard's generator are pickled to the workers; results
-    (including the advanced generator state) are pickled back.  Sidesteps the
-    GIL entirely, at the cost of per-task serialization of the plan.
+    Task arguments and results are pickled per task; the ``shared`` payload
+    travels once per pool — by fork inheritance under the (Linux-default)
+    fork start method, through the pool initializer otherwise.  Sidesteps
+    the GIL entirely.  :meth:`open` binds a persistent pool to one payload so
+    consecutive ``run_tasks`` calls (e.g. the fit pipeline's selection and
+    publish stages) share a single worker startup.
     """
 
     name = "process"
 
-    def run(self, plan, sizes, rngs, update_mode):
-        with ProcessPoolExecutor(max_workers=self._workers(len(sizes))) as pool:
-            futures = [
-                pool.submit(_run_shard, plan, n, rng, index, update_mode)
-                for index, (n, rng) in enumerate(zip(sizes, rngs))
-            ]
+    def __init__(self, max_workers: int | None = None) -> None:
+        super().__init__(max_workers)
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_shared = None
+
+    @staticmethod
+    def _forking() -> bool:
+        return multiprocessing.get_start_method() == "fork"
+
+    def _make_pool(self, workers: int, shared) -> ProcessPoolExecutor:
+        """A pool whose (lazily forked) workers will carry ``shared``.
+
+        Under fork, :meth:`_submit_all` re-asserts the module global before
+        every submit batch (forks happen synchronously inside ``submit``);
+        under spawn/forkserver the initializer pickles the payload once per
+        worker.
+        """
+        if self._forking():
+            return ProcessPoolExecutor(max_workers=workers)
+        return ProcessPoolExecutor(
+            max_workers=workers, initializer=_set_task_shared, initargs=(shared,)
+        )
+
+    def _submit_all(self, pool: ProcessPoolExecutor, shared, fn, tasks) -> list:
+        """Submit every task; under fork, pin the payload global meanwhile.
+
+        Worker processes are forked inside ``submit`` when the pool is below
+        its worker cap, so holding the lock across the submit loop guarantees
+        each fork inherits this pool's payload even with concurrent pools on
+        other threads.
+        """
+        if not self._forking():
+            return [pool.submit(_call_task, fn, task) for task in tasks]
+        with _TASK_SHARED_LOCK:
+            _set_task_shared(shared)
+            try:
+                return [pool.submit(_call_task, fn, task) for task in tasks]
+            finally:
+                _set_task_shared(None)
+
+    def open(self, shared=None) -> None:
+        self.close()
+        workers = self.max_workers or (multiprocessing.cpu_count() or 1)
+        self._pool = self._make_pool(workers, shared)
+        self._pool_shared = shared
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._pool_shared = None
+
+    def run_tasks(self, fn, tasks, shared=None):
+        if not tasks:
+            return []
+        if self._pool is not None and shared is self._pool_shared:
+            futures = self._submit_all(self._pool, shared, fn, tasks)
             return [f.result() for f in futures]
+        pool = self._make_pool(self._workers(len(tasks)), shared)
+        try:
+            futures = self._submit_all(pool, shared, fn, tasks)
+            return [f.result() for f in futures]
+        finally:
+            pool.shutdown()
+
+
+def scatter_map(executor: Backend, fn, items: list, shared=None, n_chunks=None) -> list:
+    """Chunked map: run ``fn(shared, chunk)`` per chunk, return per-item results.
+
+    Items are dealt round-robin into ``n_chunks`` chunks (default: one per
+    executor worker, falling back to the core count when the executor has no
+    worker cap), so heterogeneous per-item costs spread evenly.  ``fn``
+    receives a list of items and must return one result per item, in order;
+    the per-item results are reassembled into the original item order.
+    """
+    if not items:
+        return []
+    if n_chunks is None:
+        n_chunks = executor.max_workers or (multiprocessing.cpu_count() or 1)
+    k = max(1, min(int(n_chunks), len(items)))
+    chunks = [items[i::k] for i in range(k)]
+    chunk_results = executor.run_tasks(fn, [(chunk,) for chunk in chunks], shared=shared)
+    out = [None] * len(items)
+    for i, results in enumerate(chunk_results):
+        if len(results) != len(chunks[i]):
+            raise RuntimeError(
+                f"task returned {len(results)} results for {len(chunks[i])} items"
+            )
+        for j, value in enumerate(results):
+            out[i + j * k] = value
+    return out
 
 
 _BACKEND_CLASSES = {

@@ -19,7 +19,9 @@ import sys
 from repro.experiments import (
     ablations,
     appg_mia,
+    engine_scaling,
     fig2_sketch,
+    fit_scaling,
     fig3_classification,
     fig4_netml,
     fig5_fig6_attributes,
@@ -49,6 +51,8 @@ EXPERIMENTS = {
     "tab7": lambda s: fig7_tab67_epsilon.run_sweep(s, dataset="ugr16"),
     "fig8": lambda s: fig8_gum_vs_gummi.run(s),
     "appg": lambda s: appg_mia.run(s),
+    "enginescale": lambda s: engine_scaling.run(s),
+    "fitscale": lambda s: fit_scaling.run(s),
     "ablations": lambda s: {
         "allocation": ablations.run_allocation(s),
         "binning": ablations.run_binning_threshold(s),
@@ -77,6 +81,11 @@ def main(argv=None) -> int:
     parser.add_argument("--records", type=int, default=6000, help="records per dataset")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--epsilon", type=float, default=2.0)
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print per-stage fit timings (synth.fit_report) for every synthesis",
+    )
     args = parser.parse_args(argv)
 
     if args.name == "list":
@@ -84,7 +93,12 @@ def main(argv=None) -> int:
             print(name)
         return 0
 
-    scale = ExperimentScale(n_records=args.records, seed=args.seed, epsilon=args.epsilon)
+    scale = ExperimentScale(
+        n_records=args.records,
+        seed=args.seed,
+        epsilon=args.epsilon,
+        verbose=args.verbose,
+    )
     names = list(EXPERIMENTS) if args.name == "all" else [args.name]
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:

@@ -10,6 +10,7 @@ tables/figures share them (e.g. Fig. 3 and Table 1).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -44,6 +45,9 @@ class ExperimentScale:
     netshare_finetune: int = 120
     gibbs_sweeps: int = 4
     privmrf_memory_bytes: int = 256 * 1024**3  # the paper's workstation (modeled)
+    #: Print per-stage fit instrumentation (``synth.fit_report``) after each
+    #: synthesis; flip with ``python -m repro.experiments ... --verbose``.
+    verbose: bool = False
 
     def smaller(self, n_records: int | None = None) -> "ExperimentScale":
         """A reduced copy for expensive sweeps (never above the original)."""
@@ -128,12 +132,19 @@ def synthesize_cached(
     scale: ExperimentScale,
     epsilon: float | None = None,
     from_train: bool = False,
+    model_dir: str | Path | None = None,
 ) -> tuple:
     """Synthesize (or fetch) a trace; returns ``(table_or_None, seconds)``.
 
     ``None`` output means the method failed structurally (PrivMRF memory) —
     rendered as the paper's "N/A".  ``from_train=True`` synthesizes from the
     80% train split (so test records are never seen by the synthesizer).
+
+    ``model_dir`` enables fit-once/sample-anywhere for NetDPSyn: fitted
+    models persist there (:meth:`NetDPSyn.save`) and later runs — including
+    fresh processes — load instead of refitting.  The saved seed sequence
+    makes the loaded model's first ``sample()`` identical to the first
+    sample of the run that fitted it, so the cache is output-stable.
     """
     eps = epsilon if epsilon is not None else scale.epsilon
     key = (method, dataset, scale.n_records, scale.seed, eps, from_train)
@@ -146,12 +157,35 @@ def synthesize_cached(
     synthesizer = build_synthesizer(method, scale, epsilon=eps, rng=scale.seed + 1)
     with Timer() as timer:
         try:
-            synthetic = synthesizer.synthesize(raw, n=len(raw))
+            if method.lower() == "netdpsyn" and model_dir is not None:
+                model_path = Path(model_dir) / (
+                    f"netdpsyn-{dataset}-n{scale.n_records}-s{scale.seed}"
+                    f"-e{eps}-t{int(from_train)}.ndpsyn"
+                )
+                if model_path.exists():
+                    synthesizer = NetDPSyn.load(model_path)
+                else:
+                    synthesizer.fit(raw)
+                    synthesizer.save(model_path)
+                synthetic = synthesizer.sample(len(raw))
+            else:
+                synthetic = synthesizer.synthesize(raw, n=len(raw))
         except MemoryBudgetExceeded:
             synthetic = None
+    if scale.verbose:
+        _print_fit_report(method, dataset, synthesizer)
     result = (synthetic, timer.elapsed)
     _SYN_CACHE[key] = result
     return result
+
+
+def _print_fit_report(method: str, dataset: str, synthesizer) -> None:
+    """Verbose mode: per-stage fit timings for synthesizers that expose them."""
+    report = getattr(synthesizer, "fit_report", None)
+    if report is None:
+        return
+    for line in report.lines():
+        print(f"[{method}/{dataset}] {line}")
 
 
 def clear_cache() -> None:

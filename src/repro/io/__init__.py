@@ -1,0 +1,9 @@
+"""Model persistence: serialize fitted synthesizers for fit-once/sample-anywhere.
+
+Distinct from :mod:`repro.data.io`, which reads and writes *traces*; this
+package reads and writes *models* — see :mod:`repro.io.model` for the format.
+"""
+
+from repro.io.model import MODEL_VERSION, load_model, save_model
+
+__all__ = ["MODEL_VERSION", "load_model", "save_model"]

@@ -2,9 +2,13 @@
 
 from repro.marginals.combine import combine_attr_sets, cover_all_attributes
 from repro.marginals.compute import cell_codes, compute_marginal, marginal_counts
-from repro.marginals.indif import independent_difference, noisy_indif_scores
+from repro.marginals.indif import (
+    exact_indif_scores,
+    independent_difference,
+    noisy_indif_scores,
+)
 from repro.marginals.marginal import Marginal
-from repro.marginals.publish import publish_marginals
+from repro.marginals.publish import exact_marginals, publish_marginals
 from repro.marginals.selection import SelectionResult, select_pairs
 
 __all__ = [
@@ -14,6 +18,8 @@ __all__ = [
     "combine_attr_sets",
     "compute_marginal",
     "cover_all_attributes",
+    "exact_indif_scores",
+    "exact_marginals",
     "independent_difference",
     "marginal_counts",
     "noisy_indif_scores",

@@ -43,3 +43,17 @@ def compute_marginal(encoded: EncodedDataset, attrs) -> Marginal:
     shape = encoded.domain.shape(attrs)
     counts = marginal_counts(encoded.project(attrs), shape)
     return Marginal(attrs, counts)
+
+
+def exact_count_payload(encoded: EncodedDataset) -> tuple:
+    """The shared payload of the exact-count executor tasks.
+
+    ``(data, sizes)`` — the encoded int32 matrix plus per-column domain
+    sizes.  The matrix is converted to Fortran order once (column slices
+    become contiguous, which is what the cell-code kernels stream over),
+    then shipped to workers once (fork inheritance or pool initializer) and
+    reused by both the InDif scan and marginal publication; see
+    :meth:`repro.engine.backends.Backend.open`.
+    """
+    sizes = tuple(int(encoded.domain.size(name)) for name in encoded.attrs)
+    return (np.asfortranarray(encoded.data), sizes)

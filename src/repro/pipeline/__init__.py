@@ -1,0 +1,45 @@
+"""The staged fit pipeline: the private phase as explicit, instrumented stages.
+
+``NetDPSyn.fit()`` runs a :class:`FitPipeline` — Binning → Selection →
+Combine → Publish → Consistency — threading one
+:class:`~repro.pipeline.context.FitContext` through the
+:class:`~repro.pipeline.stages.FitStage` objects instead of mutating
+synthesizer attributes inline.  The pipeline times every stage
+(:class:`~repro.pipeline.context.FitReport` surfaces the breakdown as
+``synth.fit_report``).
+
+Reproducibility contract: exact-count work (pair marginals for InDif, the
+published contingency tables) is deterministic and may run on any
+:class:`~repro.engine.backends.Backend` executor; every Gaussian noise draw
+happens serially on the single fit stream in a fixed order.  Serial and
+parallel fits are therefore bit-identical — pinned by the golden digest in
+``tests/test_pipeline.py`` and re-checked by ``benchmarks/bench_fit_scaling``.
+See ``docs/pipeline.md``.
+"""
+
+from repro.pipeline.context import FitContext, FitReport
+from repro.pipeline.runner import FitPipeline
+from repro.pipeline.stages import (
+    BinningStage,
+    CombineStage,
+    ConsistencyStage,
+    FitStage,
+    PublishStage,
+    SelectionStage,
+    default_stages,
+    resolve_key_attr,
+)
+
+__all__ = [
+    "BinningStage",
+    "CombineStage",
+    "ConsistencyStage",
+    "FitContext",
+    "FitPipeline",
+    "FitReport",
+    "FitStage",
+    "PublishStage",
+    "SelectionStage",
+    "default_stages",
+    "resolve_key_attr",
+]
