@@ -22,6 +22,7 @@ import os
 import pytest
 
 from repro.experiments import ExperimentScale
+from repro.utils.memory import peak_rss_bytes
 
 
 def _env_int(name: str, default: int) -> int:
@@ -48,8 +49,14 @@ def scale() -> ExperimentScale:
 
 
 def attach(benchmark, payload: dict) -> None:
-    """Record experiment rows on the benchmark for JSON export."""
+    """Record experiment rows on the benchmark for JSON export.
+
+    Every record also carries the harness process's peak RSS at attach time
+    (``resource.getrusage`` high-water mark), so the per-PR timing artifact
+    tracks the memory trajectory alongside the timings.
+    """
     benchmark.extra_info["result"] = payload
+    benchmark.extra_info["peak_rss_bytes"] = peak_rss_bytes()
 
 
 def fmt(value) -> str:

@@ -38,6 +38,8 @@ ship the model file to stateless workers.
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -46,8 +48,16 @@ from repro.core.config import SynthesisConfig
 from repro.data.table import TraceTable
 from repro.dp.accountant import BudgetLedger
 from repro.dp.allocation import split_budget
-from repro.engine import EngineConfig, SynthesisPlan, execute_plan, get_backend
+from repro.engine import (
+    DEFAULT_CHUNK,
+    EngineConfig,
+    SynthesisPlan,
+    execute_plan_decoded,
+    execute_plan_stream,
+    get_backend,
+)
 from repro.pipeline import FitContext, FitPipeline, FitReport
+from repro.utils.memory import peak_rss_bytes
 from repro.utils.rng import ensure_rng, make_seed_sequence
 from repro.utils.timer import Timer
 
@@ -62,6 +72,38 @@ def _fit_executor(engine: EngineConfig | None):
         return None, None, None
     workers = engine.max_workers or (os.cpu_count() or 1)
     return get_backend(engine.backend, max_workers=workers), engine.backend, workers
+
+
+@dataclass(frozen=True)
+class StreamReport:
+    """Outcome of one streaming ``sample_to`` run (pure observability)."""
+
+    path: str
+    format: str
+    n_records: int
+    n_chunks: int
+    seconds: float
+    #: This process's lifetime RSS high-water mark after the run, in bytes
+    #: (``resource.getrusage``; probe from a fresh process for clean numbers).
+    peak_rss_bytes: int
+
+    @property
+    def records_per_second(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.n_records / self.seconds
+
+    def as_dict(self) -> dict:
+        """Plain-dict rendering (JSON-friendly, used by benchmarks)."""
+        return {
+            "path": self.path,
+            "format": self.format,
+            "n_records": self.n_records,
+            "n_chunks": self.n_chunks,
+            "seconds": self.seconds,
+            "records_per_second": self.records_per_second,
+            "peak_rss_bytes": self.peak_rss_bytes,
+        }
 
 
 def smallest_marginal_index(published: list) -> dict:
@@ -115,6 +157,8 @@ class NetDPSyn:
         self._key_attr: str | None = None
         self._rules: list | None = None
         self._plan: SynthesisPlan | None = None
+        #: Persistent worker pool bound to the plan (see :meth:`pool`).
+        self._session_backend = None
 
     # -------------------------------------------------------------------- fit
     def fit(self, table: TraceTable) -> "NetDPSyn":
@@ -191,6 +235,23 @@ class NetDPSyn:
         return self._plan
 
     # ----------------------------------------------------------------- sample
+    def _engine_call(self, rng, shards, backend):
+        """Resolve one sampling call: (engine config, rng stream, pool).
+
+        Under an open :meth:`pool` context, calls that do not name a backend
+        themselves default to the pool's backend — that is the whole point of
+        opening one.  An explicit per-call ``backend=`` still wins (and runs
+        outside the pool when it names a different backend).
+        """
+        pool = self._session_backend
+        if backend is None and pool is not None:
+            backend = pool.name
+        engine = self.config.engine.override(shards=shards, backend=backend)
+        stream = self._seed_seq.spawn(1)[0] if rng is None else rng
+        if pool is not None and pool.name != engine.backend:
+            pool = None
+        return engine, stream, pool
+
     def sample(
         self,
         n: int | None = None,
@@ -203,16 +264,120 @@ class NetDPSyn:
         ``shards``/``backend`` override :attr:`SynthesisConfig.engine` for
         this call; with the defaults (one serial shard) and an explicit
         ``rng`` the output is bit-identical to the historic single-loop
-        implementation.  When ``rng`` is ``None``, a fresh per-call stream is
-        spawned from the constructor seed, so repeated calls are individually
-        reproducible instead of silently advancing a shared generator.
+        implementation.  Sharded runs decode inside the shards (one decode
+        stream per shard), so the output depends on the shard count but
+        never on the backend.  When ``rng`` is ``None``, a fresh per-call
+        stream is spawned from the constructor seed, so repeated calls are
+        individually reproducible instead of silently advancing a shared
+        generator.
         """
         plan = self.plan()
-        engine = self.config.engine.override(shards=shards, backend=backend)
-        stream = self._seed_seq.spawn(1)[0] if rng is None else rng
-        outcome = execute_plan(plan, engine, n=n, rng=stream)
+        engine, stream, pool = self._engine_call(rng, shards, backend)
+        outcome = execute_plan_decoded(plan, engine, n=n, rng=stream, backend=pool)
         self.gum_result = outcome.gum
-        return plan.finalize(outcome.gum.data, outcome.decode_rng)
+        return outcome.table
+
+    def sample_stream(
+        self,
+        n: int | None = None,
+        chunk: int = DEFAULT_CHUNK,
+        rng: np.random.Generator | int | None = None,
+        shards: int | None = None,
+        backend: str | None = None,
+    ):
+        """Yield a synthetic trace as decoded chunks of ``chunk`` records.
+
+        The concatenation of the chunks is digest-identical to
+        ``sample(n, rng=..., shards=..., backend=...)`` for the same seed and
+        shard count — chunking re-slices the shard stream without changing
+        content.  When ``shards`` is not given it defaults to
+        ``max(engine.shards, ceil(n / chunk))`` so each shard stays roughly
+        chunk-sized and peak memory is bounded by ``chunk``, not ``n``.
+        ``self.gum_result`` carries the merged run metadata once the stream
+        is exhausted.
+        """
+        plan = self.plan()
+        if n is None:
+            n = plan.default_n
+        engine, stream, pool = self._engine_call(rng, shards, backend)
+        if shards is None and chunk >= 1:
+            engine = engine.override(shards=max(engine.shards, -(-int(n) // int(chunk))))
+
+        def _record(gum):
+            self.gum_result = gum
+
+        return execute_plan_stream(
+            plan,
+            engine,
+            n=n,
+            rng=stream,
+            chunk=chunk,
+            backend=pool,
+            on_complete=_record,
+        )
+
+    def sample_to(
+        self,
+        path,
+        n: int | None = None,
+        format: str | None = None,
+        chunk: int = DEFAULT_CHUNK,
+        rng: np.random.Generator | int | None = None,
+        shards: int | None = None,
+        backend: str | None = None,
+    ) -> StreamReport:
+        """Stream a synthetic trace straight into a file at bounded RSS.
+
+        ``format`` is one of :data:`repro.data.sinks.SINK_FORMATS` (``csv``,
+        ``jsonl``, ``parquet``, ``null``), inferred from the path suffix when
+        omitted.  The written records are exactly what
+        ``sample_stream(n, chunk, rng=..., shards=...)`` yields, so a
+        round-tripped file is digest-identical to the in-memory trace.
+        """
+        from repro.data.sinks import open_sink
+
+        timer = Timer()
+        timer.start()
+        schema = self.plan().original_schema
+        with open_sink(path, schema, format=format) as sink:
+            for part in self.sample_stream(
+                n, chunk=chunk, rng=rng, shards=shards, backend=backend
+            ):
+                sink.write(part)
+        return StreamReport(
+            path=str(sink.path),
+            format=sink.format,
+            n_records=sink.rows_written,
+            n_chunks=sink.chunks_written,
+            seconds=timer.stop(),
+            peak_rss_bytes=peak_rss_bytes(),
+        )
+
+    @contextmanager
+    def pool(self, backend: str | None = None, max_workers: int | None = None):
+        """Hold one persistent worker pool across sampling calls.
+
+        Opens the named backend's pool bound to the frozen plan — the plan
+        ships to the workers **once per pool lifetime** — and makes every
+        ``sample`` / ``sample_stream`` / ``sample_to`` call under the context
+        reuse it (calls whose per-call ``backend=`` differs still get their
+        own execution).  The pool is closed on exit.
+
+        >>> with synth.pool(backend="shared", max_workers=4):  # doctest: +SKIP
+        ...     for day in range(30):
+        ...         synth.sample_to(f"day-{day}.csv", n=1_000_000)
+        """
+        engine = self.config.engine
+        name = backend or engine.backend
+        workers = max_workers if max_workers is not None else engine.max_workers
+        pool = get_backend(name, workers)
+        pool.open(self.plan())
+        self._session_backend = pool
+        try:
+            yield pool
+        finally:
+            self._session_backend = None
+            pool.close()
 
     # ----------------------------------------------------------- persistence
     def save(self, path) -> "os.PathLike | str":

@@ -3,6 +3,17 @@
 from repro.data.domain import Domain
 from repro.data.io import read_csv, write_csv
 from repro.data.schema import FieldKind, FieldSpec, Schema
+from repro.data.sinks import (
+    SINK_FORMATS,
+    CsvSink,
+    JsonlSink,
+    NullSink,
+    ParquetSink,
+    TraceSink,
+    open_sink,
+    read_jsonl,
+    read_parquet,
+)
 from repro.data.table import TraceTable
 
 __all__ = [
@@ -13,4 +24,13 @@ __all__ = [
     "TraceTable",
     "read_csv",
     "write_csv",
+    "SINK_FORMATS",
+    "CsvSink",
+    "JsonlSink",
+    "NullSink",
+    "ParquetSink",
+    "TraceSink",
+    "open_sink",
+    "read_jsonl",
+    "read_parquet",
 ]

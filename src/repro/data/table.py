@@ -117,13 +117,29 @@ class TraceTable:
 
     def concat(self, other: "TraceTable") -> "TraceTable":
         """Vertically stack two tables with identical schemas."""
-        if other.schema.names != self.schema.names:
-            raise ValueError("schema mismatch in concat")
+        return TraceTable.concat_all([self, other])
+
+    @staticmethod
+    def concat_all(tables: "list[TraceTable]") -> "TraceTable":
+        """Vertically stack many tables in one pass (one copy per column).
+
+        Unlike chaining :meth:`concat`, which re-copies every earlier row for
+        each appended table, this concatenates each column exactly once — the
+        merge primitive behind sharded decoding and chunk re-slicing.
+        """
+        if not tables:
+            raise ValueError("concat_all requires at least one table")
+        first = tables[0]
+        if len(tables) == 1:
+            return first
+        for other in tables[1:]:
+            if other.schema.names != first.schema.names:
+                raise ValueError("schema mismatch in concat")
         cols = {
-            n: np.concatenate([self._columns[n], other._columns[n]])
-            for n in self.schema.names
+            n: np.concatenate([t._columns[n] for t in tables])
+            for n in first.schema.names
         }
-        return TraceTable(self.schema, cols)
+        return TraceTable(first.schema, cols)
 
     # --------------------------------------------------------------- grouping
     def group_ids(self, names: Iterable[str]) -> np.ndarray:

@@ -7,37 +7,57 @@ provides:
 
 - :class:`SynthesisPlan` — a picklable capture of everything ``sample()``
   needs after ``fit()``;
-- serial / thread / process :mod:`backends <repro.engine.backends>` exposing
-  a generic map-style :meth:`~repro.engine.backends.Backend.run_tasks` (used
-  by the fit pipeline's exact-count fan-out) plus the shard runner that
-  splits the record budget with independent ``SeedSequence``-spawned streams;
+- serial / thread / process / shared-memory :mod:`backends
+  <repro.engine.backends>` exposing a generic map-style
+  :meth:`~repro.engine.backends.Backend.run_tasks` (used by the fit
+  pipeline's exact-count fan-out), the streaming
+  :meth:`~repro.engine.backends.Backend.imap_tasks`, and the shard runner
+  that splits the record budget with independent ``SeedSequence``-spawned
+  streams;
 - :func:`execute_plan` — the executor that runs a plan under an
-  :class:`EngineConfig` and merges shard outputs.
+  :class:`EngineConfig` and merges encoded shard outputs;
+- :func:`execute_plan_decoded` / :func:`execute_plan_stream` — the streaming
+  execution plane (:mod:`repro.engine.streaming`): decoding happens inside
+  the shards and results arrive as finished trace tables, in bulk or as
+  bounded-memory chunks.
 """
 
 from repro.engine.backends import (
     Backend,
     ProcessBackend,
     SerialBackend,
+    SharedMemoryBackend,
     ThreadBackend,
     get_backend,
     scatter_map,
 )
 from repro.engine.config import BACKENDS, EngineConfig
 from repro.engine.executor import ExecutionResult, execute_plan
-from repro.engine.plan import ShardResult, SynthesisPlan, shard_sizes
+from repro.engine.plan import DecodedShard, ShardResult, SynthesisPlan, shard_sizes
+from repro.engine.streaming import (
+    DEFAULT_CHUNK,
+    DecodedResult,
+    execute_plan_decoded,
+    execute_plan_stream,
+)
 
 __all__ = [
     "BACKENDS",
     "Backend",
+    "DEFAULT_CHUNK",
+    "DecodedResult",
+    "DecodedShard",
     "EngineConfig",
     "ExecutionResult",
     "ProcessBackend",
     "SerialBackend",
     "ShardResult",
+    "SharedMemoryBackend",
     "SynthesisPlan",
     "ThreadBackend",
     "execute_plan",
+    "execute_plan_decoded",
+    "execute_plan_stream",
     "get_backend",
     "scatter_map",
     "shard_sizes",

@@ -1,16 +1,24 @@
-"""Execution backends: a generic map-style task executor, serial/thread/process.
+"""Execution backends: a generic map-style task executor, serial to shared-memory.
 
 Every backend implements :meth:`Backend.run_tasks` — run a module-level
 function over a list of argument tuples, returning results in task order —
-plus the shard-oriented :meth:`Backend.run` used by the sampling engine,
-which is a thin wrapper over ``run_tasks``.  Because every task result is a
-pure function of its inputs, all backends produce identical results for the
-same inputs; the only thing that changes is where the work runs.
+plus the streaming :meth:`Backend.imap_tasks` (results yielded in task order
+with a bounded submission window, the memory bound behind the streaming
+synthesis API) and the shard-oriented :meth:`Backend.run` used by the
+sampling engine.  Because every task result is a pure function of its
+inputs, all backends produce identical results for the same inputs; the only
+thing that changes is where the work runs and how results travel back.
 
 A ``shared`` payload (e.g. the encoded data matrix, or the synthesis plan)
-is passed to every task as its first argument.  The process backend ships it
-to workers **once** — via fork inheritance where the start method allows it,
-or via the pool initializer otherwise — instead of pickling it per task.
+is passed to every task as its first argument.  The process backends ship it
+to workers **once per pool** — via fork inheritance where the start method
+allows it, or via the pool initializer otherwise — instead of pickling it
+per task; :meth:`Backend.open` binds a persistent pool to one payload so the
+shipment happens once per pool *lifetime* across many calls.
+
+The ``shared`` backend additionally returns large ndarray results through
+:mod:`multiprocessing.shared_memory` segments (see :mod:`repro.engine.shm`)
+instead of the pickled result pipe.
 """
 
 from __future__ import annotations
@@ -18,12 +26,14 @@ from __future__ import annotations
 import abc
 import multiprocessing
 import threading
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.engine.config import BACKENDS
+from repro.engine.shm import export_result, import_result, release_result
 
 if TYPE_CHECKING:  # import would cycle through plan -> synthesis -> marginals
     from repro.engine.plan import ShardResult, SynthesisPlan
@@ -52,6 +62,11 @@ def _call_task(fn, args):
     return fn(_TASK_SHARED, *args)
 
 
+def _call_task_shm(fn, args):
+    """Like :func:`_call_task`, but park large array results in shared memory."""
+    return export_result(fn(_TASK_SHARED, *args))
+
+
 def _run_shard_task(
     plan: SynthesisPlan,
     n: int,
@@ -61,6 +76,20 @@ def _run_shard_task(
 ) -> ShardResult:
     """GUM shard synthesis as a ``run_tasks`` task; ``shared`` is the plan."""
     return plan.run_shard(n, rng, index=index, update_mode=update_mode)
+
+
+def _run_decoded_shard_task(
+    plan: SynthesisPlan,
+    n: int,
+    rng: np.random.Generator,
+    decode_rng: np.random.Generator,
+    index: int,
+    update_mode: str,
+):
+    """Shard synthesis *plus decode* as one task (the streaming hot path)."""
+    return plan.run_shard_decoded(
+        n, rng, decode_rng, index=index, update_mode=update_mode
+    )
 
 
 class Backend(abc.ABC):
@@ -80,13 +109,24 @@ class Backend(abc.ABC):
         task receives as its first argument.
         """
 
+    def imap_tasks(self, fn, tasks: list[tuple], shared=None, window: int | None = None):
+        """Yield ``fn(shared, *task)`` results lazily, in task order.
+
+        At most ``window`` tasks are in flight at once (default: worker count
+        plus one), so a consumer that processes results as they arrive keeps
+        bounded memory regardless of the task count.  The default
+        implementation is eager; the concrete backends override it.
+        """
+        yield from self.run_tasks(fn, list(tasks), shared=shared)
+
     def open(self, shared=None) -> None:
         """Bind a persistent worker pool to ``shared`` (optional).
 
         Subsequent ``run_tasks(..., shared=<the same object>)`` calls reuse
         the pool instead of paying startup per call; other payloads still get
         a per-call pool.  Callers that ``open()`` must ``close()`` (the fit
-        pipeline does both).  No-op for in-process backends.
+        pipeline and ``NetDPSyn.pool()`` do both).  No-op for in-process
+        backends.
         """
 
     def close(self) -> None:
@@ -110,6 +150,11 @@ class Backend(abc.ABC):
         limit = self.max_workers if self.max_workers is not None else n_tasks
         return max(1, min(limit, n_tasks))
 
+    def _window(self, window: int | None) -> int:
+        if window is not None:
+            return max(1, int(window))
+        return (self.max_workers or multiprocessing.cpu_count() or 1) + 1
+
 
 class SerialBackend(Backend):
     """Run every task in the calling thread, one after another."""
@@ -119,13 +164,19 @@ class SerialBackend(Backend):
     def run_tasks(self, fn, tasks, shared=None):
         return [fn(shared, *task) for task in tasks]
 
+    def imap_tasks(self, fn, tasks, shared=None, window=None):
+        # Fully lazy: one task runs per result consumed, so a streaming
+        # consumer holds at most one task output at a time.
+        for task in tasks:
+            yield fn(shared, *task)
+
 
 class ThreadBackend(Backend):
     """Run tasks on a thread pool.
 
     NumPy releases the GIL inside the heavy kernels (sort, bincount,
     gather), so threads overlap part of the work without any pickling cost;
-    the process backend is the stronger choice for CPU-bound scaling.
+    the process backends are the stronger choice for CPU-bound scaling.
     """
 
     name = "thread"
@@ -137,6 +188,20 @@ class ThreadBackend(Backend):
             futures = [pool.submit(fn, shared, *task) for task in tasks]
             return [f.result() for f in futures]
 
+    def imap_tasks(self, fn, tasks, shared=None, window=None):
+        tasks = list(tasks)
+        if not tasks:
+            return
+        window = self._window(window)
+        with ThreadPoolExecutor(max_workers=self._workers(len(tasks))) as pool:
+            pending: deque = deque()
+            for task in tasks:
+                pending.append(pool.submit(fn, shared, *task))
+                while len(pending) >= window:
+                    yield pending.popleft().result()
+            while pending:
+                yield pending.popleft().result()
+
 
 class ProcessBackend(Backend):
     """Run tasks on a process pool.
@@ -146,10 +211,16 @@ class ProcessBackend(Backend):
     fork start method, through the pool initializer otherwise.  Sidesteps
     the GIL entirely.  :meth:`open` binds a persistent pool to one payload so
     consecutive ``run_tasks`` calls (e.g. the fit pipeline's selection and
-    publish stages) share a single worker startup.
+    publish stages, or every chunk of one streaming ``sample_to``) share a
+    single worker startup and a single payload shipment.
     """
 
     name = "process"
+
+    #: Worker-side wrapper each task is submitted through; the shared-memory
+    #: subclass swaps in the shm-exporting variant.  Must be module-level so
+    #: the pool can pickle it.
+    _caller = staticmethod(_call_task)
 
     def __init__(self, max_workers: int | None = None) -> None:
         super().__init__(max_workers)
@@ -160,13 +231,36 @@ class ProcessBackend(Backend):
     def _forking() -> bool:
         return multiprocessing.get_start_method() == "fork"
 
+    def _finish(self, raw):
+        """Post-process one raw future result (hook for the shm subclass)."""
+        return raw
+
+    def _discard(self, raw) -> None:
+        """Dispose of a raw result that will never be finished (shm hook)."""
+
+    def _drain(self, futures) -> None:
+        """Consume and discard unfinished futures so no result leaks.
+
+        Called on every teardown path — early generator exit, a failed
+        sibling task — because the shared-memory subclass parks results in
+        ``/dev/shm`` segments that only die when imported or released.
+        """
+        for future in futures:
+            try:
+                raw = future.result()
+            except BaseException:
+                continue
+            try:
+                self._discard(raw)
+            except BaseException:  # pragma: no cover - best-effort cleanup
+                pass
+
     def _make_pool(self, workers: int, shared) -> ProcessPoolExecutor:
         """A pool whose (lazily forked) workers will carry ``shared``.
 
-        Under fork, :meth:`_submit_all` re-asserts the module global before
-        every submit batch (forks happen synchronously inside ``submit``);
-        under spawn/forkserver the initializer pickles the payload once per
-        worker.
+        Under fork, :meth:`_submit_one` re-asserts the module global around
+        every submit (forks happen synchronously inside ``submit``); under
+        spawn/forkserver the initializer pickles the payload once per worker.
         """
         if self._forking():
             return ProcessPoolExecutor(max_workers=workers)
@@ -174,20 +268,20 @@ class ProcessBackend(Backend):
             max_workers=workers, initializer=_set_task_shared, initargs=(shared,)
         )
 
-    def _submit_all(self, pool: ProcessPoolExecutor, shared, fn, tasks) -> list:
-        """Submit every task; under fork, pin the payload global meanwhile.
+    def _submit_one(self, pool: ProcessPoolExecutor, shared, fn, task):
+        """Submit one task; under fork, pin the payload global meanwhile.
 
         Worker processes are forked inside ``submit`` when the pool is below
-        its worker cap, so holding the lock across the submit loop guarantees
-        each fork inherits this pool's payload even with concurrent pools on
+        its worker cap, so holding the lock across the call guarantees each
+        fork inherits this pool's payload even with concurrent pools on
         other threads.
         """
         if not self._forking():
-            return [pool.submit(_call_task, fn, task) for task in tasks]
+            return pool.submit(self._caller, fn, task)
         with _TASK_SHARED_LOCK:
             _set_task_shared(shared)
             try:
-                return [pool.submit(_call_task, fn, task) for task in tasks]
+                return pool.submit(self._caller, fn, task)
             finally:
                 _set_task_shared(None)
 
@@ -203,18 +297,81 @@ class ProcessBackend(Backend):
             self._pool = None
             self._pool_shared = None
 
+    def _pool_for(self, shared, n_tasks: int) -> tuple[ProcessPoolExecutor, bool]:
+        """The persistent pool when it carries ``shared``, else a fresh one."""
+        if self._pool is not None and shared is self._pool_shared:
+            return self._pool, True
+        return self._make_pool(self._workers(n_tasks), shared), False
+
     def run_tasks(self, fn, tasks, shared=None):
         if not tasks:
             return []
-        if self._pool is not None and shared is self._pool_shared:
-            futures = self._submit_all(self._pool, shared, fn, tasks)
-            return [f.result() for f in futures]
-        pool = self._make_pool(self._workers(len(tasks)), shared)
+        pool, reuse = self._pool_for(shared, len(tasks))
+        futures: list = []
+        done = 0
+        consuming = False
         try:
-            futures = self._submit_all(pool, shared, fn, tasks)
-            return [f.result() for f in futures]
+            futures = [self._submit_one(pool, shared, fn, task) for task in tasks]
+            consuming = True
+            out = []
+            for future in futures:
+                out.append(self._finish(future.result()))
+                done += 1
+            return out
         finally:
-            pool.shutdown()
+            # On an exception mid-consumption, futures[done] is the one that
+            # raised (its payload failed or was partially finished); every
+            # later future may still hold an unconsumed exported result.
+            self._drain(futures[done + 1 if consuming else 0:])
+            if not reuse:
+                pool.shutdown()
+
+    def imap_tasks(self, fn, tasks, shared=None, window=None):
+        tasks = list(tasks)
+        if not tasks:
+            return
+        window = self._window(window)
+        pool, reuse = self._pool_for(shared, len(tasks))
+        pending: deque = deque()
+        try:
+            for task in tasks:
+                pending.append(self._submit_one(pool, shared, fn, task))
+                while len(pending) >= window:
+                    yield self._finish(pending.popleft().result())
+            while pending:
+                yield self._finish(pending.popleft().result())
+        finally:
+            # Runs when the consumer abandons the generator (GeneratorExit)
+            # or a task raises: the in-flight futures must still be reaped so
+            # exported shm results are released, not leaked.
+            self._drain(pending)
+            if not reuse:
+                pool.shutdown()
+
+
+class SharedMemoryBackend(ProcessBackend):
+    """A process pool whose large array results bypass the result pipe.
+
+    Identical task semantics to :class:`ProcessBackend` — the payload still
+    ships once per pool, results still arrive in task order — but any result
+    containing big numeric ndarrays (shard matrices, decoded trace columns)
+    comes back as :mod:`multiprocessing.shared_memory` segments: the worker
+    copies the array into a segment and sends a name-sized handle; the
+    parent attaches a view, materializes it, and unlinks.  One memcpy
+    replaces the pickle-encode/pipe/pickle-decode round trip, which is what
+    the per-shard serialization cost is mostly made of.  See
+    :mod:`repro.engine.shm` for the ownership protocol.
+    """
+
+    name = "shared"
+
+    _caller = staticmethod(_call_task_shm)
+
+    def _finish(self, raw):
+        return import_result(raw)
+
+    def _discard(self, raw):
+        release_result(raw)
 
 
 def scatter_map(executor: Backend, fn, items: list, shared=None, n_chunks=None) -> list:
@@ -248,11 +405,13 @@ _BACKEND_CLASSES = {
     SerialBackend.name: SerialBackend,
     ThreadBackend.name: ThreadBackend,
     ProcessBackend.name: ProcessBackend,
+    SharedMemoryBackend.name: SharedMemoryBackend,
 }
 
 
 def get_backend(name: str, max_workers: int | None = None) -> Backend:
-    """Instantiate a backend by name (``serial``, ``thread``, ``process``)."""
+    """Instantiate a backend by name (``serial``, ``thread``, ``process``,
+    ``shared``)."""
     try:
         cls = _BACKEND_CLASSES[name]
     except KeyError:

@@ -2,10 +2,29 @@
 
 from __future__ import annotations
 
+import numbers
 from dataclasses import dataclass
 
 #: Names of the available execution backends.
-BACKENDS = ("serial", "thread", "process")
+BACKENDS = ("serial", "thread", "process", "shared")
+
+
+def _positive_int(name: str, value) -> int:
+    """Validate an engine count parameter eagerly, with a usable message.
+
+    Rejecting bad values here — instead of letting ``shards=0`` surface as an
+    opaque failure deep inside ``shard_sizes`` on a worker — is the contract
+    ``EngineConfig.__post_init__`` (and thus ``override`` and every
+    ``sample(shards=...)`` call) relies on.
+    """
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise ValueError(
+            f"{name} must be an integer >= 1, got {value!r} ({type(value).__name__})"
+        )
+    value = int(value)
+    if value < 1:
+        raise ValueError(f"{name} must be an integer >= 1, got {value}")
+    return value
 
 
 @dataclass
@@ -18,12 +37,15 @@ class EngineConfig:
     workers without touching the DP accounting.
     """
 
-    #: ``"serial"`` (in-process loop), ``"thread"`` (ThreadPoolExecutor) or
-    #: ``"process"`` (ProcessPoolExecutor; the plan is pickled to workers).
+    #: ``"serial"`` (in-process loop), ``"thread"`` (ThreadPoolExecutor),
+    #: ``"process"`` (ProcessPoolExecutor; results pickled per task) or
+    #: ``"shared"`` (process pool returning large arrays through
+    #: ``multiprocessing.shared_memory`` instead of the result pipe).
     backend: str = "serial"
     #: Number of independent GUM shards the record budget is split into.
     shards: int = 1
-    #: Worker cap for the thread/process backends (default: one per shard).
+    #: Worker cap for the thread/process/shared backends (default: one per
+    #: shard).
     max_workers: int | None = None
 
     def __post_init__(self) -> None:
@@ -31,17 +53,20 @@ class EngineConfig:
             raise ValueError(
                 f"backend must be one of {BACKENDS}, got {self.backend!r}"
             )
-        if self.shards < 1:
-            raise ValueError(f"shards must be >= 1, got {self.shards}")
-        if self.max_workers is not None and self.max_workers < 1:
-            raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
+        self.shards = _positive_int("shards", self.shards)
+        if self.max_workers is not None:
+            self.max_workers = _positive_int("max_workers", self.max_workers)
 
     def override(
-        self, shards: int | None = None, backend: str | None = None
+        self,
+        shards: int | None = None,
+        backend: str | None = None,
+        max_workers: int | None = None,
     ) -> "EngineConfig":
-        """A copy with per-call overrides applied (``None`` keeps the field)."""
+        """A validated copy with per-call overrides applied (``None`` keeps
+        the field)."""
         return EngineConfig(
             backend=self.backend if backend is None else backend,
             shards=self.shards if shards is None else shards,
-            max_workers=self.max_workers,
+            max_workers=self.max_workers if max_workers is None else max_workers,
         )

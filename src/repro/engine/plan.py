@@ -35,7 +35,10 @@ class ShardResult:
     """Output of one independent GUM loop over a slice of the record budget."""
 
     index: int
-    data: np.ndarray
+    #: Encoded rows; the executor drops this reference (sets ``None``) once
+    #: the shard has been merged, so per-shard payloads never outlive the
+    #: concatenated result — only the metadata below is kept.
+    data: np.ndarray | None
     errors: list = field(default_factory=list)
     iterations_run: int = 0
     #: Wall-clock seconds of this shard (initialization + GUM).
@@ -44,6 +47,37 @@ class ShardResult:
     #: exact same stream into decoding (bit-compatibility with the
     #: pre-engine ``sample()``); pickling round-trips the state intact.
     rng: np.random.Generator | None = None
+    #: Row count of this shard; survives after ``data`` is dropped.
+    n_records: int = 0
+
+
+@dataclass
+class DecodedShard:
+    """Output of one shard that synthesized *and decoded* its own rows.
+
+    The streaming execution plane ships these instead of encoded matrices:
+    the encoded rows never leave the worker, only the finished
+    :class:`~repro.data.table.TraceTable` slice does.
+    """
+
+    index: int
+    table: TraceTable
+    errors: list = field(default_factory=list)
+    iterations_run: int = 0
+    #: Wall-clock seconds of this shard (initialization + GUM + decode).
+    seconds: float = 0.0
+    n_records: int = 0
+
+    def meta(self) -> ShardResult:
+        """The shard's payload-free metadata, for ``GumResult.shard_results``."""
+        return ShardResult(
+            index=self.index,
+            data=None,
+            errors=self.errors,
+            iterations_run=self.iterations_run,
+            seconds=self.seconds,
+            n_records=self.n_records,
+        )
 
 
 @dataclass
@@ -117,6 +151,35 @@ class SynthesisPlan:
             iterations_run=result.iterations_run,
             seconds=timer.stop(),
             rng=rng,
+            n_records=int(result.data.shape[0]),
+        )
+
+    def run_shard_decoded(
+        self,
+        n: int,
+        rng: np.random.Generator | int | None = None,
+        decode_rng: np.random.Generator | int | None = None,
+        index: int = 0,
+        update_mode: str | None = None,
+    ) -> DecodedShard:
+        """Synthesize ``n`` records and decode them in one worker-side step.
+
+        ``decode_rng`` drives the shard's own decode stream (the engine
+        derives it as ``SeedSequence`` child ``shards + index``); the encoded
+        matrix stays local to the worker, only the decoded trace slice is
+        returned.
+        """
+        timer = Timer()
+        timer.start()
+        shard = self.run_shard(n, rng, index=index, update_mode=update_mode)
+        table = self.finalize(shard.data, decode_rng)
+        return DecodedShard(
+            index=index,
+            table=table,
+            errors=shard.errors,
+            iterations_run=shard.iterations_run,
+            seconds=timer.stop(),
+            n_records=table.n_records,
         )
 
     # -------------------------------------------------------------- decoding

@@ -1,0 +1,211 @@
+"""Shared-memory transport for ndarray-bearing task results.
+
+The process backend pays one pickle + pipe round trip per task result; for
+shard outputs (the (n, k) encoded matrix, or the decoded numeric columns of a
+:class:`~repro.data.table.TraceTable`) that serialization dominates the IPC
+cost.  The ``shared`` backend instead has the **worker** copy every large
+numeric array into a :mod:`multiprocessing.shared_memory` segment and ship
+only a tiny :class:`ShmArrayRef` through the pipe; the parent attaches a view
+on the segment, materializes it, and unlinks the segment immediately — one
+memcpy instead of pickle-encode → pipe chunks → pickle-decode.
+
+Ownership protocol (POSIX): the creating worker unregisters the segment from
+its resource tracker right away and never unlinks; the parent attaches (which
+re-registers on Python <= 3.12), copies, and calls ``unlink()`` (which
+unregisters again).  Every segment is therefore unlinked exactly once, by the
+parent, within the task round trip — no tracker warnings, no ``/dev/shm``
+leaks on a clean exit, and a crash before import leaks at most the in-flight
+segments.
+
+Only arrays of at least :data:`SHM_MIN_BYTES` travel this way; small arrays,
+object arrays (strings cannot be memory-mapped), and every other value pickle
+through the pipe as usual, so results round-trip unchanged for arbitrary task
+functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.data.table import TraceTable
+
+#: Arrays smaller than this (bytes) are pickled instead of exported: below a
+#: few pipe buffers the segment setup costs more than the copy it saves.
+SHM_MIN_BYTES = 1 << 16
+
+
+@dataclass
+class ShmArrayRef:
+    """A pickle-sized handle to one ndarray parked in shared memory."""
+
+    name: str
+    dtype: str
+    shape: tuple
+
+
+@dataclass
+class ShmTableRef:
+    """A :class:`TraceTable` whose numeric columns are parked in shared memory."""
+
+    schema: object
+    columns: dict
+
+
+def _unregister(name: str) -> None:
+    """Drop this process's resource-tracker claim on segment ``name``.
+
+    Safe to call for names the tracker does not know (unregister is a cache
+    discard); no-op on platforms without the POSIX tracker.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(name, "shared_memory")
+    except Exception:
+        pass
+
+
+def export_array(arr: np.ndarray) -> ShmArrayRef:
+    """Copy ``arr`` into a fresh shared-memory segment and return its handle.
+
+    The caller-side mapping is closed before returning; the segment itself
+    stays alive (the importer unlinks it).
+    """
+    from multiprocessing import shared_memory
+
+    arr = np.ascontiguousarray(arr)
+    shm = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+    try:
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+        view[...] = arr
+        ref = ShmArrayRef(name=shm.name, dtype=arr.dtype.str, shape=arr.shape)
+        del view
+    finally:
+        # Hand ownership to the importer: this process must neither unlink
+        # the segment nor let its tracker believe it still owns it.
+        registered = getattr(shm, "_name", shm.name)
+        shm.close()
+        _unregister(registered)
+    return ref
+
+
+def import_array(ref: ShmArrayRef) -> np.ndarray:
+    """Materialize the array behind ``ref`` and destroy the segment."""
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=ref.name)
+    try:
+        view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=shm.buf)
+        out = view.copy()
+        del view
+    finally:
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double-unlink race
+            pass
+    return out
+
+
+def release_array(ref: ShmArrayRef) -> None:
+    """Destroy the segment behind ``ref`` without materializing it.
+
+    Used when an exported result will never be imported (a consumer abandoned
+    the stream, or a sibling task failed): attaching and unlinking keeps the
+    register/unregister ledger balanced exactly like :func:`import_array`.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        shm = shared_memory.SharedMemory(name=ref.name)
+    except FileNotFoundError:
+        return
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - double-unlink race
+        pass
+
+
+def _exportable(value) -> bool:
+    return (
+        isinstance(value, np.ndarray)
+        and value.dtype != object
+        and value.nbytes >= SHM_MIN_BYTES
+    )
+
+
+def export_result(obj):
+    """Recursively swap large ndarrays in a task result for shm handles.
+
+    Understands the engine's result shapes — bare arrays, ``ShardResult`` /
+    ``DecodedShard`` payloads, :class:`TraceTable` columns — plus plain
+    dict/list/tuple containers.  Everything else passes through untouched
+    (and is pickled by the pool as usual).
+    """
+    from repro.engine.plan import DecodedShard, ShardResult
+
+    if _exportable(obj):
+        return export_array(obj)
+    if isinstance(obj, TraceTable):
+        return ShmTableRef(
+            schema=obj.schema,
+            columns={name: export_result(obj.column(name)) for name in obj.schema.names},
+        )
+    if isinstance(obj, ShardResult):
+        return replace(obj, data=export_result(obj.data))
+    if isinstance(obj, DecodedShard):
+        return replace(obj, table=export_result(obj.table))
+    if isinstance(obj, dict):
+        return {key: export_result(value) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [export_result(value) for value in obj]
+    if isinstance(obj, tuple):
+        return tuple(export_result(value) for value in obj)
+    return obj
+
+
+def import_result(obj):
+    """Inverse of :func:`export_result`: reattach, copy, and unlink handles."""
+    from repro.engine.plan import DecodedShard, ShardResult
+
+    if isinstance(obj, ShmArrayRef):
+        return import_array(obj)
+    if isinstance(obj, ShmTableRef):
+        return TraceTable(
+            obj.schema, {name: import_result(col) for name, col in obj.columns.items()}
+        )
+    if isinstance(obj, ShardResult):
+        return replace(obj, data=import_result(obj.data))
+    if isinstance(obj, DecodedShard):
+        return replace(obj, table=import_result(obj.table))
+    if isinstance(obj, dict):
+        return {key: import_result(value) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [import_result(value) for value in obj]
+    if isinstance(obj, tuple):
+        return tuple(import_result(value) for value in obj)
+    return obj
+
+
+def release_result(obj) -> None:
+    """Destroy every segment in an exported result that won't be imported."""
+    from repro.engine.plan import DecodedShard, ShardResult
+
+    if isinstance(obj, ShmArrayRef):
+        release_array(obj)
+    elif isinstance(obj, ShmTableRef):
+        for col in obj.columns.values():
+            release_result(col)
+    elif isinstance(obj, ShardResult):
+        release_result(obj.data)
+    elif isinstance(obj, DecodedShard):
+        release_result(obj.table)
+    elif isinstance(obj, dict):
+        for value in obj.values():
+            release_result(value)
+    elif isinstance(obj, (list, tuple)):
+        for value in obj:
+            release_result(value)

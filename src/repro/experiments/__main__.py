@@ -22,6 +22,7 @@ from repro.experiments import (
     engine_scaling,
     fig2_sketch,
     fit_scaling,
+    stream_throughput,
     fig3_classification,
     fig4_netml,
     fig5_fig6_attributes,
@@ -53,6 +54,7 @@ EXPERIMENTS = {
     "appg": lambda s: appg_mia.run(s),
     "enginescale": lambda s: engine_scaling.run(s),
     "fitscale": lambda s: fit_scaling.run(s),
+    "streamscale": lambda s: stream_throughput.run(s),
     "ablations": lambda s: {
         "allocation": ablations.run_allocation(s),
         "binning": ablations.run_binning_threshold(s),

@@ -79,26 +79,38 @@ class GumConfig:
 
 @dataclass
 class GumResult:
-    """Synthesized encoded rows plus the convergence trace and timings."""
+    """Synthesized encoded rows plus the convergence trace and timings.
 
-    data: np.ndarray
+    Runs that decode inside the shards (the engine's sharded-decode and
+    streaming paths) never materialize a merged encoded matrix; they carry
+    ``data=None`` and record the row count in :attr:`n_records` instead.
+    """
+
+    data: np.ndarray | None
     errors: list = field(default_factory=list)
     iterations_run: int = 0
     #: Wall-clock seconds of the GUM loop; for engine runs this is the whole
-    #: sampling phase (initialization + GUM across all shards).
+    #: sampling phase (initialization + GUM across all shards, plus decode
+    #: when the run decoded in-shard).
     seconds: float = 0.0
     #: Execution provenance (filled in by :mod:`repro.engine` for sharded runs).
     backend: str = "serial"
     shards: int = 1
-    #: Per-shard results when this result merges a sharded run.
+    #: Per-shard results when this result merges a sharded run (payload-free:
+    #: the executor keeps timings/errors/iterations but drops the data arrays).
     shard_results: list = field(default_factory=list)
+    #: Total synthesized rows; authoritative when ``data`` is ``None``.
+    n_records: int | None = None
 
     @property
     def records_per_second(self) -> float:
         """Synthesis throughput (0 when the run was not timed)."""
         if self.seconds <= 0:
             return 0.0
-        return self.data.shape[0] / self.seconds
+        n = self.n_records
+        if n is None:
+            n = 0 if self.data is None else self.data.shape[0]
+        return n / self.seconds
 
 
 class _MarginalState:

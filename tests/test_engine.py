@@ -69,8 +69,33 @@ class TestEngineConfig:
             get_backend("gpu")
 
     def test_invalid_shards(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="shards must be an integer >= 1"):
             EngineConfig(shards=0)
+        with pytest.raises(ValueError, match="shards must be an integer >= 1"):
+            EngineConfig(shards=-2)
+        with pytest.raises(ValueError, match="shards"):
+            EngineConfig(shards=2.5)
+        with pytest.raises(ValueError, match="shards"):
+            EngineConfig(shards=True)
+
+    def test_invalid_max_workers(self):
+        with pytest.raises(ValueError, match="max_workers must be an integer >= 1"):
+            EngineConfig(max_workers=-1)
+        with pytest.raises(ValueError, match="max_workers"):
+            EngineConfig(max_workers=0)
+
+    def test_override_validates_eagerly(self):
+        config = EngineConfig()
+        with pytest.raises(ValueError, match="shards must be an integer >= 1"):
+            config.override(shards=0)
+        with pytest.raises(ValueError, match="max_workers must be an integer >= 1"):
+            config.override(max_workers=-4)
+
+    def test_sample_rejects_invalid_shards(self, fitted):
+        # The config constructor is the single validation point, so bad
+        # per-call overrides fail fast instead of deep inside shard_sizes.
+        with pytest.raises(ValueError, match="shards must be an integer >= 1"):
+            fitted.sample(100, rng=1, shards=0)
 
     def test_override(self):
         config = EngineConfig(backend="serial", shards=1, max_workers=3)
@@ -78,6 +103,8 @@ class TestEngineConfig:
         assert (out.backend, out.shards, out.max_workers) == ("process", 4, 3)
         kept = config.override()
         assert (kept.backend, kept.shards) == ("serial", 1)
+        widened = config.override(max_workers=8)
+        assert widened.max_workers == 8 and config.max_workers == 3
 
 
 class TestSynthesisPlan:
@@ -173,8 +200,17 @@ class TestBackendEquality:
     def test_shard_merge_preserves_total_count(self, fitted):
         syn = fitted.sample(1001, rng=2, shards=3, backend="serial")
         assert syn.n_records == 1001
-        sizes = [r.data.shape[0] for r in fitted.gum_result.shard_results]
+        sizes = [r.n_records for r in fitted.gum_result.shard_results]
         assert sorted(sizes) == [333, 334, 334]
+
+    def test_shard_payloads_dropped_after_merge(self, fitted):
+        # Keeping every per-shard matrix alive alongside the merged result
+        # used to double peak RSS; only metadata survives the merge.
+        fitted.sample(900, rng=2, shards=3, backend="serial")
+        for result in fitted.gum_result.shard_results:
+            assert result.data is None
+            assert result.n_records > 0
+            assert result.seconds > 0
 
     def test_process_backend_advances_caller_generator(self, fitted):
         # Backends must mutate a caller-owned generator identically, so a

@@ -1,0 +1,361 @@
+"""Streaming engine tests: sharded decode, chunked sampling, sinks, shm pool."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import NetDPSyn, SynthesisConfig, load_dataset
+from repro.data.io import read_csv
+from repro.data.sinks import (
+    SINK_FORMATS,
+    NullSink,
+    open_sink,
+    read_jsonl,
+)
+from repro.data.table import TraceTable
+from repro.engine import (
+    BACKENDS,
+    EngineConfig,
+    SharedMemoryBackend,
+    execute_plan_decoded,
+    get_backend,
+)
+from repro.engine.executor import _merge_errors
+from repro.engine.plan import ShardResult
+from repro.engine.shm import export_result, import_result
+from repro.utils.memory import peak_rss_bytes
+
+#: Backends exercised by the digest-equality property tests (thread is
+#: covered by the engine suite; these are the streaming acceptance trio).
+STREAM_BACKENDS = ("serial", "process", "shared")
+
+
+def digest(table) -> str:
+    return table.content_digest()
+
+
+def _shm_segments() -> set:
+    import os
+
+    try:
+        return {name for name in os.listdir("/dev/shm") if name.startswith("psm_")}
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+def _big_array_task(shared, seed):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 100, size=(400, 80), dtype=np.int32)  # > 64 KiB
+
+
+def _failing_task(shared, seed):
+    if seed == 1:
+        raise RuntimeError("task boom")
+    return _big_array_task(shared, seed)
+
+
+@pytest.fixture(scope="module")
+def ton():
+    return load_dataset("ton", n_records=2000, seed=13)
+
+
+@pytest.fixture(scope="module")
+def fitted(ton):
+    config = SynthesisConfig(epsilon=2.0)
+    config.gum.iterations = 8
+    return NetDPSyn(config, rng=3).fit(ton)
+
+
+class TestStreamEquality:
+    """sample_stream() re-slices the sharded run without changing content."""
+
+    @pytest.mark.parametrize("backend", STREAM_BACKENDS)
+    def test_chunks_concat_to_sample(self, fitted, backend):
+        expected = digest(fitted.sample(900, rng=5, shards=3, backend=backend))
+        chunks = list(
+            fitted.sample_stream(900, chunk=250, rng=5, shards=3, backend=backend)
+        )
+        assert [c.n_records for c in chunks] == [250, 250, 250, 150]
+        assert digest(TraceTable.concat_all(chunks)) == expected
+
+    def test_chunk_size_does_not_change_content(self, fitted):
+        digests = set()
+        for chunk in (100, 333, 900, 5000):
+            parts = list(fitted.sample_stream(900, chunk=chunk, rng=7, shards=3))
+            digests.add(digest(TraceTable.concat_all(parts)))
+        assert len(digests) == 1
+
+    def test_single_shard_stream_matches_legacy_sample(self, fitted):
+        expected = digest(fitted.sample(600, rng=11))
+        parts = list(fitted.sample_stream(600, chunk=200, rng=11, shards=1))
+        assert digest(TraceTable.concat_all(parts)) == expected
+
+    def test_default_shards_derived_from_chunk(self, fitted):
+        parts = list(fitted.sample_stream(800, chunk=200, rng=2))
+        assert sum(p.n_records for p in parts) == 800
+        assert fitted.gum_result.shards == 4
+        assert fitted.gum_result.n_records == 800
+        assert fitted.gum_result.data is None
+
+    def test_stream_metadata_recorded_after_exhaustion(self, fitted):
+        stream = fitted.sample_stream(600, chunk=300, rng=4, shards=2)
+        fitted.gum_result = None
+        list(stream)
+        result = fitted.gum_result
+        assert result is not None
+        assert len(result.shard_results) == 2
+        assert all(r.data is None for r in result.shard_results)
+        assert result.errors and result.iterations_run >= 1
+
+    def test_invalid_arguments_raise_at_call_time(self, fitted):
+        # Eager validation: the error surfaces where the mistake was made,
+        # not at the first next() on the returned generator.
+        with pytest.raises(ValueError, match="chunk"):
+            fitted.sample_stream(100, chunk=0, rng=1)
+        with pytest.raises(ValueError, match="n must be"):
+            fitted.sample_stream(0, rng=1)
+
+
+class TestSampleTo:
+    @pytest.mark.parametrize("fmt", ["csv", "jsonl"])
+    @pytest.mark.parametrize("backend", STREAM_BACKENDS)
+    def test_round_trip_digest_equal(self, fitted, tmp_path, fmt, backend):
+        expected = fitted.sample(700, rng=9, shards=2, backend=backend)
+        path = tmp_path / f"trace.{fmt}"
+        report = fitted.sample_to(
+            path, n=700, chunk=173, rng=9, shards=2, backend=backend
+        )
+        assert report.n_records == 700
+        assert report.n_chunks == 5  # ceil(700 / 173)
+        assert report.format == fmt
+        reader = read_csv if fmt == "csv" else read_jsonl
+        assert digest(reader(path, expected.schema)) == digest(expected)
+
+    def test_parquet_round_trip(self, fitted, tmp_path):
+        pytest.importorskip("pyarrow")
+        from repro.data.sinks import read_parquet
+
+        expected = fitted.sample(400, rng=9, shards=2)
+        path = tmp_path / "trace.parquet"
+        fitted.sample_to(path, n=400, chunk=150, rng=9, shards=2)
+        assert digest(read_parquet(path, expected.schema)) == digest(expected)
+
+    def test_parquet_without_pyarrow_raises(self, fitted, tmp_path):
+        try:
+            import pyarrow  # noqa: F401
+        except ImportError:
+            with pytest.raises(RuntimeError, match="pyarrow"):
+                fitted.sample_to(tmp_path / "t.parquet", n=10, rng=0)
+
+    def test_null_sink_counts_only(self, fitted, tmp_path):
+        report = fitted.sample_to(
+            tmp_path / "t.devnull", n=500, format="null", chunk=200, rng=1
+        )
+        assert report.n_records == 500
+        assert report.records_per_second > 0
+        assert report.peak_rss_bytes > 0
+        assert not (tmp_path / "t.devnull").exists()
+
+    def test_report_as_dict(self, fitted, tmp_path):
+        report = fitted.sample_to(tmp_path / "t.csv", n=100, rng=1)
+        payload = report.as_dict()
+        assert payload["n_records"] == 100 and payload["format"] == "csv"
+
+    def test_format_inference_and_errors(self, fitted, tmp_path, ton):
+        schema = ton.schema
+        assert open_sink(tmp_path / "x.ndjson", schema).format == "jsonl"
+        assert isinstance(open_sink(tmp_path / "x.bin", schema, "null"), NullSink)
+        with pytest.raises(ValueError, match="cannot infer sink format"):
+            open_sink(tmp_path / "x.bin", schema)
+        with pytest.raises(ValueError, match="format must be one of"):
+            open_sink(tmp_path / "x.csv", schema, format="xml")
+        assert set(SINK_FORMATS) == {"csv", "jsonl", "parquet", "null"}
+
+    def test_sink_rejects_schema_mismatch_and_closed_writes(self, fitted, tmp_path, ton):
+        trace = fitted.sample(50, rng=1)
+        sink = open_sink(tmp_path / "x.csv", trace.schema)
+        sink.write(trace)
+        mismatched = ton.head(5).without_column(ton.schema.names[0])
+        with pytest.raises(ValueError, match="do not match sink"):
+            sink.write(mismatched)
+        sink.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            sink.write(trace)
+
+
+class TestSharedBackend:
+    def test_registered(self):
+        assert "shared" in BACKENDS
+        assert isinstance(get_backend("shared"), SharedMemoryBackend)
+
+    def test_shm_round_trip_large_and_small(self):
+        rng = np.random.default_rng(0)
+        big = rng.integers(0, 100, size=(300, 80), dtype=np.int32)  # > 64 KiB
+        small = np.arange(5, dtype=np.int64)
+        strings = np.array(["a", "bb"], dtype=object)
+        payload = {"big": big, "nested": [small, (strings, 3.5)], "plain": "x"}
+        out = import_result(export_result(payload))
+        assert np.array_equal(out["big"], big)
+        assert np.array_equal(out["nested"][0], small)
+        assert list(out["nested"][1][0]) == ["a", "bb"]
+        assert out["nested"][1][1] == 3.5 and out["plain"] == "x"
+
+    def test_shard_result_round_trip(self):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 9, size=(400, 60), dtype=np.int32)
+        shard = ShardResult(index=2, data=data, errors=[0.5, 0.4], n_records=400)
+        out = import_result(export_result(shard))
+        assert out.index == 2 and out.errors == [0.5, 0.4]
+        assert np.array_equal(out.data, data)
+
+    def test_fit_with_shared_executor_is_bit_identical(self, ton):
+        def build(fit_engine):
+            config = SynthesisConfig(epsilon=2.0)
+            config.gum.iterations = 6
+            config.fit_engine = fit_engine
+            return NetDPSyn(config, rng=17).fit(ton)
+
+        inline = build(None)
+        shared = build(EngineConfig(backend="shared", max_workers=2))
+        assert digest(shared.sample(300, rng=5)) == digest(inline.sample(300, rng=5))
+
+    def test_persistent_pool_reuse_matches_fresh_pools(self, fitted):
+        fresh = digest(fitted.sample(500, rng=21, shards=2, backend="shared"))
+        with fitted.pool(backend="shared", max_workers=2):
+            a = digest(fitted.sample(500, rng=21, shards=2, backend="shared"))
+            b = digest(fitted.sample(500, rng=21, shards=2, backend="shared"))
+        after = digest(fitted.sample(500, rng=21, shards=2, backend="shared"))
+        assert fresh == a == b == after
+
+    def test_pool_ignored_for_other_backends(self, fitted):
+        with fitted.pool(backend="shared", max_workers=2):
+            out = fitted.sample(300, rng=1, shards=2, backend="serial")
+        assert fitted.gum_result.backend == "serial"
+        assert out.n_records == 300
+
+    def test_pool_is_default_backend_for_calls_under_it(self, fitted):
+        # The documented usage omits per-call backend=; the open pool must
+        # actually serve those calls, not sit idle.
+        expected = digest(fitted.sample(400, rng=6, shards=2, backend="shared"))
+        with fitted.pool(backend="shared", max_workers=2):
+            got = digest(fitted.sample(400, rng=6, shards=2))
+            assert fitted.gum_result.backend == "shared"
+        assert got == expected
+
+    def test_abandoned_stream_leaks_no_shm_segments(self, fitted):
+        before = _shm_segments()
+        stream = fitted.sample_stream(1200, chunk=100, rng=3, shards=4, backend="shared")
+        next(stream)
+        stream.close()
+        assert _shm_segments() == before
+
+    def test_failed_task_leaks_no_shm_segments(self):
+        before = _shm_segments()
+        runner = get_backend("shared", max_workers=2)
+        with pytest.raises(RuntimeError, match="task boom"):
+            runner.run_tasks(_failing_task, [(0,), (1,), (2,), (3,)])
+        out = runner.run_tasks(_big_array_task, [(5,)])
+        assert np.array_equal(out[0], _big_array_task(None, 5))
+        assert _shm_segments() == before
+
+
+class TestExecutePlanDecoded:
+    def test_direct_call(self, fitted):
+        out = execute_plan_decoded(
+            fitted.plan(), EngineConfig(backend="thread", shards=2), n=400, rng=3
+        )
+        assert out.table.n_records == 400
+        assert out.gum.data is None and out.gum.n_records == 400
+        assert len(out.gum.shard_results) == 2
+
+    def test_matches_sample(self, fitted):
+        out = execute_plan_decoded(
+            fitted.plan(), EngineConfig(shards=3), n=600, rng=8
+        )
+        assert digest(out.table) == digest(fitted.sample(600, rng=8, shards=3))
+
+
+class TestChunkBufferProperty:
+    """The pure re-slicing layer preserves rows, order, and chunk exactness."""
+
+    @given(
+        sizes=st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=8),
+        chunk=st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_chunks_are_exact_and_order_preserving(self, sizes, chunk):
+        from repro.data.schema import FieldKind, FieldSpec, Schema
+        from repro.engine.streaming import _ChunkBuffer
+
+        schema = Schema((FieldSpec("x", FieldKind.NUMERIC),), "flow")
+        total = sum(sizes)
+        values = np.arange(total, dtype=np.int64)
+        parts, start = [], 0
+        for size in sizes:
+            parts.append(TraceTable(schema, {"x": values[start : start + size]}))
+            start += size
+
+        buffer = _ChunkBuffer()
+        out = []
+        for part in parts:
+            buffer.push(part)
+            while buffer.rows >= chunk:
+                out.append(buffer.pop(chunk))
+        while buffer.rows:
+            out.append(buffer.pop(chunk))
+
+        assert all(c.n_records == chunk for c in out[:-1])
+        assert buffer.rows == 0
+        merged = (
+            np.concatenate([c.column("x") for c in out])
+            if out
+            else np.zeros(0, dtype=np.int64)
+        )
+        assert np.array_equal(merged, values)
+
+
+class TestMergeErrors:
+    @staticmethod
+    def reference(results, sizes):
+        longest = max((len(r.errors) for r in results), default=0)
+        if longest == 0:
+            return []
+        total = float(sum(sizes))
+        merged = []
+        for t in range(longest):
+            num = 0.0
+            for result, size in zip(results, sizes):
+                if not result.errors:
+                    continue
+                err = result.errors[min(t, len(result.errors) - 1)]
+                num += err * size
+            merged.append(num / total if total > 0 else 0.0)
+        return merged
+
+    def _shards(self, curves):
+        return [ShardResult(index=i, data=None, errors=c) for i, c in enumerate(curves)]
+
+    def test_matches_reference_on_ragged_curves(self):
+        rng = np.random.default_rng(42)
+        for _ in range(20):
+            k = int(rng.integers(1, 6))
+            curves = [list(rng.random(int(rng.integers(0, 7)))) for _ in range(k)]
+            sizes = [int(rng.integers(0, 500)) for _ in range(k)]
+            results = self._shards(curves)
+            assert np.allclose(
+                _merge_errors(results, sizes), self.reference(results, sizes)
+            )
+
+    def test_empty_and_zero_weight_edges(self):
+        assert _merge_errors(self._shards([[], []]), [10, 20]) == []
+        assert _merge_errors(self._shards([[1.0], []]), [0, 0]) == [0.0]
+        out = _merge_errors(self._shards([[0.4, 0.2], [0.6]]), [100, 100])
+        assert np.allclose(out, [0.5, 0.4])
+
+
+class TestPeakRss:
+    def test_positive_and_monotonic(self):
+        first = peak_rss_bytes()
+        assert first > 0
+        assert peak_rss_bytes() >= first
