@@ -72,10 +72,10 @@ def _run_shard_task(
     n: int,
     rng: np.random.Generator,
     index: int,
-    update_mode: str,
+    kernel: str,
 ) -> ShardResult:
     """GUM shard synthesis as a ``run_tasks`` task; ``shared`` is the plan."""
-    return plan.run_shard(n, rng, index=index, update_mode=update_mode)
+    return plan.run_shard(n, rng, index=index, kernel=kernel)
 
 
 def _run_decoded_shard_task(
@@ -84,12 +84,10 @@ def _run_decoded_shard_task(
     rng: np.random.Generator,
     decode_rng: np.random.Generator,
     index: int,
-    update_mode: str,
+    kernel: str,
 ):
     """Shard synthesis *plus decode* as one task (the streaming hot path)."""
-    return plan.run_shard_decoded(
-        n, rng, decode_rng, index=index, update_mode=update_mode
-    )
+    return plan.run_shard_decoded(n, rng, decode_rng, index=index, kernel=kernel)
 
 
 class Backend(abc.ABC):
@@ -137,12 +135,15 @@ class Backend(abc.ABC):
         plan: SynthesisPlan,
         sizes: list[int],
         rngs: list[np.random.Generator],
-        update_mode: str,
+        kernel: str,
     ) -> list[ShardResult]:
-        """Run one GUM shard per ``(size, rng)`` pair; results in shard order."""
+        """Run one GUM shard per ``(size, rng)`` pair; results in shard order.
+
+        ``kernel`` is the concrete (pre-resolved) GUM kernel name every
+        shard executes with.
+        """
         tasks = [
-            (n, rng, index, update_mode)
-            for index, (n, rng) in enumerate(zip(sizes, rngs))
+            (n, rng, index, kernel) for index, (n, rng) in enumerate(zip(sizes, rngs))
         ]
         return self.run_tasks(_run_shard_task, tasks, shared=plan)
 

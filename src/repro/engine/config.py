@@ -47,12 +47,26 @@ class EngineConfig:
     #: Worker cap for the thread/process/shared backends (default: one per
     #: shard).
     max_workers: int | None = None
+    #: GUM update kernel: a registered kernel name (``"reference"``,
+    #: ``"vectorized"``, ``"numba"``) or ``"auto"`` (fastest available,
+    #: resolved numba -> vectorized -> reference at execution time).  Every
+    #: kernel is bit-identical, so this only changes speed, never output —
+    #: which is also why a persisted model carrying ``kernel="numba"`` can
+    #: sample on a host without numba (resolution falls back).
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
             raise ValueError(
                 f"backend must be one of {BACKENDS}, got {self.backend!r}"
             )
+        # Imported lazily: the kernel registry lives under repro.synthesis,
+        # whose package init reaches back into the engine backends.
+        from repro.synthesis.kernels import valid_kernel_names
+
+        valid = valid_kernel_names()
+        if self.kernel not in valid:
+            raise ValueError(f"kernel must be one of {valid}, got {self.kernel!r}")
         self.shards = _positive_int("shards", self.shards)
         if self.max_workers is not None:
             self.max_workers = _positive_int("max_workers", self.max_workers)
@@ -62,6 +76,7 @@ class EngineConfig:
         shards: int | None = None,
         backend: str | None = None,
         max_workers: int | None = None,
+        kernel: str | None = None,
     ) -> "EngineConfig":
         """A validated copy with per-call overrides applied (``None`` keeps
         the field)."""
@@ -69,4 +84,5 @@ class EngineConfig:
             backend=self.backend if backend is None else backend,
             shards=self.shards if shards is None else shards,
             max_workers=self.max_workers if max_workers is None else max_workers,
+            kernel=self.kernel if kernel is None else kernel,
         )

@@ -24,6 +24,7 @@ from repro.engine.backends import Backend, get_backend
 from repro.engine.config import EngineConfig
 from repro.engine.plan import ShardResult, SynthesisPlan, shard_sizes
 from repro.synthesis.gum import GumResult
+from repro.synthesis.kernels import resolve_kernel_name
 from repro.utils.rng import ensure_rng
 from repro.utils.timer import Timer
 
@@ -110,6 +111,22 @@ def _strip_payloads(results: list[ShardResult]) -> list[ShardResult]:
     return [replace(r, data=None, rng=None) for r in results]
 
 
+def resolve_run_kernel(plan: SynthesisPlan, config: EngineConfig) -> str:
+    """The concrete kernel name one engine run ships to every shard.
+
+    Precedence: an explicit per-call/engine ``config.kernel`` beats the
+    plan's frozen preference (which itself honors a legacy
+    ``gum.update_mode`` pin); ``"auto"`` then resolves to the fastest kernel
+    available on *this* host.  Resolution happens once, in the parent, so
+    every shard of a run executes the same kernel — though any choice would
+    produce the same bytes, since kernels are bit-identical.
+    """
+    name = getattr(config, "kernel", "auto")
+    if name == "auto":
+        name = plan.resolved_kernel()
+    return resolve_kernel_name(name)
+
+
 def resolve_record_count(plan: SynthesisPlan, n: int | None) -> int:
     """Validate and default the record budget of one engine run."""
     if n is None:
@@ -138,12 +155,10 @@ def execute_plan(
     config = config or EngineConfig()
     n = resolve_record_count(plan, n)
     sizes = shard_sizes(n, config.shards)
-    # Single-shard runs keep the original per-cell update so existing seeds
-    # reproduce the pre-engine output exactly on every backend (the backend
-    # may only move work, never change it); sharded runs use the vectorized
-    # update — new streams, no compatibility to preserve.
-    legacy = config.shards == 1
-    update_mode = plan.gum.resolved_mode("reference" if legacy else "vectorized")
+    # Every kernel consumes the stream identically (bit-exact parity is
+    # pinned by the golden digests), so even the legacy single-shard path is
+    # free to run the fastest kernel available.
+    kernel = resolve_run_kernel(plan, config)
 
     shard_rngs, decode_rng = _derive_streams(rng, config.shards)
     if backend is None:
@@ -151,7 +166,7 @@ def execute_plan(
 
     timer = Timer()
     timer.start()
-    results = backend.run(plan, sizes, shard_rngs, update_mode)
+    results = backend.run(plan, sizes, shard_rngs, kernel)
     data = (
         results[0].data
         if len(results) == 1
@@ -174,6 +189,7 @@ def execute_plan(
         seconds=timer.stop(),
         backend=config.backend,
         shards=config.shards,
+        kernel=kernel,
         shard_results=_strip_payloads(results),
         n_records=int(data.shape[0]),
     )

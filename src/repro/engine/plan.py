@@ -12,7 +12,7 @@ regardless of how many shards generate them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -105,11 +105,28 @@ class SynthesisPlan:
     gum: GumConfig = field(default_factory=GumConfig)
     initialization: str = "gummi"
     n_init_marginals: int = 8
+    #: GUM kernel preference frozen at fit time (``EngineConfig.kernel``).
+    #: ``"auto"`` resolves on the executing host, so a persisted plan samples
+    #: on whatever kernel that host has available — output is identical
+    #: either way (all kernels are bit-exact).
+    kernel: str = "auto"
 
     @property
     def default_n(self) -> int:
         """The DP estimate of the record count (noisy consensus total)."""
         return max(int(round(self.published[0].total)), 1)
+
+    def resolved_kernel(self) -> str:
+        """This plan's kernel preference (possibly still ``"auto"``).
+
+        A non-auto legacy ``gum.update_mode`` pin wins over the engine-level
+        :attr:`kernel` field; ``getattr`` guards plans unpickled from files
+        saved before the field existed.
+        """
+        mode = self.gum.update_mode
+        if mode != "auto":
+            return mode
+        return getattr(self, "kernel", "auto")
 
     # ------------------------------------------------------------- synthesis
     def run_shard(
@@ -118,11 +135,15 @@ class SynthesisPlan:
         rng: np.random.Generator | int | None = None,
         index: int = 0,
         update_mode: str | None = None,
+        kernel: str | None = None,
     ) -> ShardResult:
         """Initialize and GUM-synthesize ``n`` encoded records.
 
-        ``update_mode`` overrides the plan's GUM update implementation for
-        this run (the engine resolves ``"auto"`` per backend).
+        ``kernel`` overrides the update-step kernel for this run (the engine
+        ships a concrete, pre-resolved name to every shard); when omitted,
+        the plan's frozen :attr:`kernel` preference applies.  ``update_mode``
+        is the pre-kernel-registry spelling of the same override, kept for
+        backward compatibility.  Kernel choice never changes the output.
         """
         rng = ensure_rng(rng)
         timer = Timer()
@@ -140,10 +161,11 @@ class SynthesisPlan:
             )
         else:
             data = random_initialization(self.one_way, self.attrs, n, rng)
-        gum_config = self.gum
-        if update_mode is not None:
-            gum_config = replace(gum_config, update_mode=update_mode)
-        result = run_gum(data, self.published, self.attrs, self.domain, gum_config, rng)
+        if kernel is None:
+            kernel = update_mode if update_mode is not None else self.resolved_kernel()
+        result = run_gum(
+            data, self.published, self.attrs, self.domain, self.gum, rng, kernel=kernel
+        )
         return ShardResult(
             index=index,
             data=result.data,
@@ -161,6 +183,7 @@ class SynthesisPlan:
         decode_rng: np.random.Generator | int | None = None,
         index: int = 0,
         update_mode: str | None = None,
+        kernel: str | None = None,
     ) -> DecodedShard:
         """Synthesize ``n`` records and decode them in one worker-side step.
 
@@ -171,7 +194,7 @@ class SynthesisPlan:
         """
         timer = Timer()
         timer.start()
-        shard = self.run_shard(n, rng, index=index, update_mode=update_mode)
+        shard = self.run_shard(n, rng, index=index, update_mode=update_mode, kernel=kernel)
         table = self.finalize(shard.data, decode_rng)
         return DecodedShard(
             index=index,

@@ -35,6 +35,7 @@ from repro.engine.executor import (
     _merge_errors,
     execute_plan,
     resolve_record_count,
+    resolve_run_kernel,
 )
 from repro.engine.plan import SynthesisPlan, shard_sizes
 from repro.synthesis.gum import GumResult
@@ -92,6 +93,7 @@ class _ShardAccumulator:
     """Collects per-shard metadata while tables stream past."""
 
     sizes: list
+    kernel: str = ""
     metas: list = field(default_factory=list)
 
     def add(self, decoded) -> TraceTable:
@@ -106,6 +108,7 @@ class _ShardAccumulator:
             seconds=seconds,
             backend=config.backend,
             shards=config.shards,
+            kernel=self.kernel,
             shard_results=self.metas,
             n_records=n,
         )
@@ -114,15 +117,15 @@ class _ShardAccumulator:
 def _decoded_tasks(plan: SynthesisPlan, config: EngineConfig, n: int, rng):
     """The per-shard (task list, sizes) for an in-shard-decode run."""
     sizes = shard_sizes(n, config.shards)
-    update_mode = plan.gum.resolved_mode("vectorized")
+    kernel = resolve_run_kernel(plan, config)
     shard_rngs, decode_rngs = _derive_streams(rng, config.shards, decode_per_shard=True)
     tasks = [
-        (size, shard_rng, decode_rng, index, update_mode)
+        (size, shard_rng, decode_rng, index, kernel)
         for index, (size, shard_rng, decode_rng) in enumerate(
             zip(sizes, shard_rngs, decode_rngs)
         )
     ]
-    return tasks, sizes
+    return tasks, sizes, kernel
 
 
 def _legacy_decoded(
@@ -158,10 +161,10 @@ def execute_plan_decoded(
         return _legacy_decoded(plan, config, n, rng, backend)
     if backend is None:
         backend = get_backend(config.backend, config.max_workers)
-    tasks, sizes = _decoded_tasks(plan, config, n, rng)
+    tasks, sizes, kernel = _decoded_tasks(plan, config, n, rng)
     timer = Timer()
     timer.start()
-    acc = _ShardAccumulator(sizes=sizes)
+    acc = _ShardAccumulator(sizes=sizes, kernel=kernel)
     tables = [
         acc.add(decoded)
         for decoded in backend.run_tasks(_run_decoded_shard_task, tasks, shared=plan)
@@ -222,10 +225,10 @@ def _stream_chunks(
     own_backend = backend is None
     if own_backend:
         backend = get_backend(config.backend, config.max_workers)
-    tasks, sizes = _decoded_tasks(plan, config, n, rng)
+    tasks, sizes, kernel = _decoded_tasks(plan, config, n, rng)
     timer = Timer()
     timer.start()
-    acc = _ShardAccumulator(sizes=sizes)
+    acc = _ShardAccumulator(sizes=sizes, kernel=kernel)
     buffer = _ChunkBuffer()
     try:
         for decoded in backend.imap_tasks(

@@ -18,6 +18,7 @@ from __future__ import annotations
 from repro.core import NetDPSyn, SynthesisConfig
 from repro.datasets import load_dataset
 from repro.experiments.runner import ExperimentScale
+from repro.synthesis.kernels import available_kernels
 
 #: (backend, shards) grid reported by the benchmark, in column order.
 DEFAULT_GRID = (
@@ -27,6 +28,11 @@ DEFAULT_GRID = (
     ("process", 2),
     ("process", 4),
 )
+
+#: Kernels timed on the single-shard serial configuration (the kernel
+#: dimension of the benchmark); restricted to what this host can run.
+def kernel_grid() -> tuple:
+    return available_kernels()
 
 #: SHA-256 of the trace the PRE-ENGINE ``sample()`` produces for the pinned
 #: workload of :func:`verify_bit_identity` (captured from the seed repo with
@@ -66,6 +72,7 @@ def run(
     scale: ExperimentScale | None = None,
     n_synth: int | None = None,
     grid=DEFAULT_GRID,
+    kernels: tuple | None = None,
     repetitions: int = 1,
     check_bit_identity: bool = True,
 ) -> dict:
@@ -73,6 +80,14 @@ def run(
 
     ``n_synth`` defaults to the fit size.  With ``repetitions > 1`` the best
     (minimum) time per configuration is reported, benchmark-style.
+
+    Two dimensions are reported:
+
+    - ``rows``: the (backend, shards) grid, run on the ``auto`` kernel;
+    - ``kernel_rows``: every kernel in ``kernels`` (default: all available
+      on this host) on the single-shard serial configuration — the
+      single-core comparison the kernel speedup gate reads.  All kernels
+      are bit-identical, so every kernel row must report the same digest.
     """
     scale = scale or ExperimentScale()
     n = n_synth if n_synth is not None else scale.n_records
@@ -80,30 +95,43 @@ def run(
         scale.n_records, scale.seed, scale.epsilon, scale.delta, scale.gum_iterations
     )
 
-    rows = {}
-    for backend, shards in grid:
+    def time_config(shards: int, backend: str, kernel: str | None) -> dict:
         seconds = None
         digest = None
         for _ in range(max(repetitions, 1)):
             out = synthesizer.sample(
-                n, rng=scale.seed + 101, shards=shards, backend=backend
+                n, rng=scale.seed + 101, shards=shards, backend=backend, kernel=kernel
             )
             elapsed = synthesizer.gum_result.seconds
             if seconds is None or elapsed < seconds:
                 seconds = elapsed
             digest = out.content_digest()
-        rows[f"{backend}-{shards}"] = {
+        return {
             "backend": backend,
             "shards": shards,
+            "kernel": synthesizer.gum_result.kernel,
             "seconds": seconds,
             "records_per_second": n / seconds if seconds > 0 else float("inf"),
             "digest": digest,
         }
 
+    rows = {}
+    for backend, shards in grid:
+        rows[f"{backend}-{shards}"] = time_config(shards, backend, None)
+
     baseline = rows["serial-1"]["seconds"] if "serial-1" in rows else None
     for row in rows.values():
         row["speedup_vs_serial"] = (
             baseline / row["seconds"] if baseline and row["seconds"] > 0 else None
+        )
+
+    kernel_rows = {}
+    for kernel in kernel_grid() if kernels is None else kernels:
+        kernel_rows[kernel] = time_config(1, "serial", kernel)
+    ref = kernel_rows.get("reference", {}).get("seconds")
+    for row in kernel_rows.values():
+        row["speedup_vs_reference"] = (
+            ref / row["seconds"] if ref and row["seconds"] > 0 else None
         )
 
     result = {
@@ -112,6 +140,7 @@ def run(
         "gum_iterations": scale.gum_iterations,
         "repetitions": repetitions,
         "rows": rows,
+        "kernel_rows": kernel_rows,
     }
     if check_bit_identity:
         result["bit_identity"] = verify_bit_identity()

@@ -14,21 +14,15 @@ approach the published noisy targets.  For each target marginal it:
 The update rate decays geometrically so early iterations make large moves
 and later ones fine-tune.
 
-Two implementations of the per-marginal update step exist:
-
-``reference``
-    The original per-cell Python loop, kept verbatim.  Bit-identical to the
-    pre-engine implementation for a fixed seed; the serial engine backend
-    resolves ``update_mode="auto"`` to this path so existing seeds keep
-    producing the exact same traces.
-``vectorized``
-    Bulk ``np.repeat``/``searchsorted`` gathers instead of per-cell loops,
-    plus incremental marginal-count maintenance: each marginal's cell codes
-    and counts are cached across iterations and updated only for the rows a
-    step actually rewrites, instead of recomputing ``bincount`` over all
-    rows on every visit.  Statistically equivalent to ``reference`` (same
-    moves, same free/refill quotas, same duplicate/replace split per cell)
-    but consumes the random stream in bulk, so outputs differ bitwise.
+The per-marginal update step is executed by a pluggable
+:class:`~repro.synthesis.kernels.GumKernel` (see
+:mod:`repro.synthesis.kernels`): ``reference`` (the original per-cell loop,
+the golden oracle), ``vectorized`` (whole-step numpy passes over cached
+codes/counts), and ``numba`` (JIT-compiled nogil cache maintenance,
+available only when numba imports).  Every kernel consumes the random
+stream identically and produces bit-identical output, so kernel choice is
+purely a speed decision; ``"auto"`` resolves numba → vectorized →
+reference.
 """
 
 from __future__ import annotations
@@ -38,12 +32,22 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.data.domain import Domain
-from repro.marginals.compute import cell_codes
+from repro.synthesis.kernels import (
+    GumKernel,
+    _MarginalState,
+    _segment_gather,  # noqa: F401  (re-exported for backward compatibility)
+    get_kernel,
+    valid_kernel_names,
+)
+from repro.synthesis.kernels.reference import _update_marginal  # noqa: F401
 from repro.utils.rng import ensure_rng
 from repro.utils.timer import Timer
 
-#: Valid values of :attr:`GumConfig.update_mode`.
-UPDATE_MODES = ("auto", "vectorized", "reference")
+#: Valid values of :attr:`GumConfig.update_mode` at import time (``"auto"``
+#: + every registered kernel name).  Validation queries the registry live,
+#: so kernels registered later are accepted too; this constant is kept for
+#: documentation and backward compatibility.
+UPDATE_MODES = valid_kernel_names()
 
 
 @dataclass
@@ -58,21 +62,24 @@ class GumConfig:
     #: for ``patience`` consecutive iterations.
     tol: float = 1e-4
     patience: int = 5
-    #: Which update-step implementation to use: ``"vectorized"``,
-    #: ``"reference"``, or ``"auto"`` (vectorized, except the engine's
-    #: single-shard serial path which resolves to reference for bit-exact
-    #: backward compatibility).
+    #: Which update-step kernel to use: a registered kernel name
+    #: (``"vectorized"``, ``"reference"``, ``"numba"``) or ``"auto"`` (the
+    #: fastest available kernel; all kernels are bit-identical, so this
+    #: never changes output).  Engine callers normally select the kernel
+    #: through ``EngineConfig(kernel=...)`` instead; a non-auto value here
+    #: acts as a legacy pin that engine ``auto`` resolution honors.
     update_mode: str = "auto"
 
     def __post_init__(self) -> None:
-        if self.update_mode not in UPDATE_MODES:
+        valid = valid_kernel_names()
+        if self.update_mode not in valid:
             raise ValueError(
-                f"update_mode must be one of {UPDATE_MODES}, got {self.update_mode!r}"
+                f"update_mode must be one of {valid}, got {self.update_mode!r}"
             )
 
     def resolved_mode(self, default: str = "vectorized") -> str:
         """Resolve ``"auto"`` to the caller's preferred concrete mode."""
-        if default not in ("vectorized", "reference"):
+        if default == "auto" or default not in valid_kernel_names():
             raise ValueError(f"invalid default mode {default!r}")
         return default if self.update_mode == "auto" else self.update_mode
 
@@ -96,6 +103,8 @@ class GumResult:
     #: Execution provenance (filled in by :mod:`repro.engine` for sharded runs).
     backend: str = "serial"
     shards: int = 1
+    #: The concrete kernel that executed the update steps.
+    kernel: str = ""
     #: Per-shard results when this result merges a sharded run (payload-free:
     #: the executor keeps timings/errors/iterations but drops the data arrays).
     shard_results: list = field(default_factory=list)
@@ -113,34 +122,6 @@ class GumResult:
         return n / self.seconds
 
 
-class _MarginalState:
-    """One target marginal plus its incrementally maintained current state."""
-
-    __slots__ = ("axes", "shape", "target", "codes", "counts")
-
-    def __init__(self, axes: np.ndarray, shape: tuple, target: np.ndarray) -> None:
-        self.axes = axes
-        self.shape = shape
-        self.target = target
-        self.codes: np.ndarray | None = None
-        self.counts: np.ndarray | None = None
-
-    def init_cache(self, data: np.ndarray) -> None:
-        """Compute cell codes and counts once; steps update them in place."""
-        self.codes = cell_codes(data[:, self.axes], self.shape)
-        self.counts = np.bincount(self.codes, minlength=self.target.size).astype(
-            np.float64
-        )
-
-    def apply_row_updates(self, rows: np.ndarray, new_rows: np.ndarray) -> None:
-        """Re-code ``rows`` (now holding ``new_rows``) and patch the counts."""
-        new = cell_codes(new_rows[:, self.axes], self.shape)
-        old = self.codes[rows]
-        size = self.target.size
-        self.counts += np.bincount(new, minlength=size) - np.bincount(old, minlength=size)
-        self.codes[rows] = new
-
-
 def run_gum(
     data: np.ndarray,
     targets: list,
@@ -148,11 +129,15 @@ def run_gum(
     domain: Domain,
     config: GumConfig | None = None,
     rng: np.random.Generator | int | None = None,
+    kernel: str | GumKernel | None = None,
 ) -> GumResult:
     """Run GUM starting from ``data`` (modified in place and returned).
 
     ``targets`` are post-processed noisy marginals; they are rescaled to the
-    row count of ``data`` internally.
+    row count of ``data`` internally.  ``kernel`` overrides the update-step
+    implementation for this run (a registered name, ``"auto"``, or a
+    :class:`~repro.synthesis.kernels.GumKernel` instance); when omitted,
+    ``config.update_mode`` decides.  Kernel choice never changes the output.
     """
     config = config or GumConfig()
     rng = ensure_rng(rng)
@@ -160,7 +145,10 @@ def run_gum(
     n = data.shape[0]
     if n == 0 or not targets:
         return GumResult(data=data, errors=[], iterations_run=0)
-    mode = config.resolved_mode()
+    if kernel is None:
+        kernel = config.update_mode
+    if not isinstance(kernel, GumKernel):
+        kernel = get_kernel(kernel)
 
     timer = Timer()
     timer.start()
@@ -172,9 +160,8 @@ def run_gum(
         total = flat_target.sum()
         scale = n / total if total > 0 else 0.0
         states.append(_MarginalState(axes, shape, flat_target * scale))
-    if mode == "vectorized":
-        for state in states:
-            state.init_cache(data)
+    if kernel.uses_cache:
+        kernel.prepare(data, states)
 
     errors: list[float] = []
     stall = 0
@@ -185,14 +172,7 @@ def run_gum(
         order = rng.permutation(len(states))
         iter_errors = []
         for k in order:
-            state = states[k]
-            if mode == "reference":
-                err = _update_marginal(
-                    data, state.axes, state.shape, state.target, alpha, config, rng
-                )
-            else:
-                err = _update_marginal_vectorized(data, states, k, alpha, config, rng)
-            iter_errors.append(err)
+            iter_errors.append(kernel.step(data, states, k, alpha, config, rng))
         mean_err = float(np.mean(iter_errors))
         errors.append(mean_err)
         iterations_run = t + 1
@@ -208,100 +188,8 @@ def run_gum(
         errors=errors,
         iterations_run=iterations_run,
         seconds=timer.stop(),
+        kernel=kernel.name,
     )
-
-
-def _update_marginal(
-    data: np.ndarray,
-    axes: np.ndarray,
-    shape: tuple,
-    target: np.ndarray,
-    alpha: float,
-    config: GumConfig,
-    rng: np.random.Generator,
-) -> float:
-    """One GUM step against one marginal; returns its pre-update L1 error.
-
-    This is the reference implementation — per-cell loops, counts recomputed
-    from scratch.  It must stay bit-identical to the pre-engine code: the
-    compatibility tests pin its output digest.
-    """
-    n = data.shape[0]
-    codes = np.ravel_multi_index(tuple(data[:, axes].T), shape)
-    current = np.bincount(codes, minlength=target.size).astype(np.float64)
-    diff = target - current
-    pre_error = float(np.abs(diff).sum()) / (2.0 * n)
-
-    excess = np.clip(-diff, 0.0, None)
-    deficit = np.clip(diff, 0.0, None)
-    excess_total = excess.sum()
-    deficit_total = deficit.sum()
-    moves = int(round(alpha * min(excess_total, deficit_total)))
-    if moves <= 0:
-        return pre_error
-
-    # Group row indices by cell, in random within-cell order, for O(1) slicing.
-    perm = rng.permutation(n)
-    sort_order = np.argsort(codes[perm], kind="stable")
-    rows_by_cell = perm[sort_order]
-    sorted_codes = codes[perm][sort_order]
-
-    # --- free rows from over-represented cells -----------------------------
-    over_cells = np.nonzero(excess > 0)[0]
-    over_quota = rng.multinomial(moves, excess[over_cells] / excess_total)
-    freed_parts = []
-    for cell, quota in zip(over_cells, over_quota):
-        if quota == 0:
-            continue
-        lo = np.searchsorted(sorted_codes, cell, side="left")
-        hi = np.searchsorted(sorted_codes, cell, side="right")
-        take = min(quota, int(excess[cell]) if excess[cell] >= 1 else quota, hi - lo)
-        if take > 0:
-            freed_parts.append(rows_by_cell[lo : lo + take])
-    if not freed_parts:
-        return pre_error
-    freed = np.concatenate(freed_parts)
-    rng.shuffle(freed)
-
-    # --- refill freed rows for under-represented cells ----------------------
-    under_cells = np.nonzero(deficit > 0)[0]
-    fill_quota = rng.multinomial(len(freed), deficit[under_cells] / deficit_total)
-    ptr = 0
-    for cell, quota in zip(under_cells, fill_quota):
-        if quota == 0:
-            continue
-        slots = freed[ptr : ptr + quota]
-        ptr += quota
-        lo = np.searchsorted(sorted_codes, cell, side="left")
-        hi = np.searchsorted(sorted_codes, cell, side="right")
-        matching = rows_by_cell[lo:hi]
-        n_dup = 0
-        if len(matching) > 0:
-            n_dup = min(int(round(len(slots) * config.duplicate_fraction)), len(slots))
-        if n_dup > 0:
-            sources = matching[rng.integers(0, len(matching), size=n_dup)]
-            data[slots[:n_dup]] = data[sources]
-        if n_dup < len(slots):
-            coords = np.unravel_index(cell, shape)
-            for axis, value in zip(axes, coords):
-                data[slots[n_dup:], axis] = value
-    return pre_error
-
-
-def _segment_gather(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
-    """Concatenate ``[starts[i], starts[i] + lengths[i])`` ranges, vectorized.
-
-    The bulk equivalent of ``np.concatenate([arange(s, s + l) ...])`` built
-    from ``np.repeat`` + one ``arange`` — the gather primitive behind the
-    vectorized free/refill steps.
-    """
-    lengths = np.asarray(lengths, dtype=np.int64)
-    total = int(lengths.sum())
-    if total == 0:
-        return np.zeros(0, dtype=np.int64)
-    seg_offsets = np.cumsum(lengths) - lengths
-    base = np.repeat(np.asarray(starts, dtype=np.int64) - seg_offsets, lengths)
-    return base + np.arange(total, dtype=np.int64)
 
 
 def _update_marginal_vectorized(
@@ -312,87 +200,11 @@ def _update_marginal_vectorized(
     config: GumConfig,
     rng: np.random.Generator,
 ) -> float:
-    """One GUM step against marginal ``k``, with bulk gathers everywhere.
+    """Backward-compatible wrapper: one vectorized-kernel step.
 
-    Semantically matches :func:`_update_marginal` (same quotas, same
-    duplicate/replace split, same sequential-write semantics — freed rows and
-    duplication sources are provably disjoint, so the all-at-once writes equal
-    the reference's cell-by-cell writes) but touches every marginal's cached
-    codes/counts instead of recomputing bincounts.
+    Kept because pre-kernel callers and tests invoked the step function
+    directly; new code should go through :func:`run_gum` or the registry.
     """
-    state = states[k]
-    n = data.shape[0]
-    codes = state.codes
-    diff = state.target - state.counts
-    pre_error = float(np.abs(diff).sum()) / (2.0 * n)
+    from repro.synthesis.kernels.vectorized import VectorizedKernel
 
-    excess = np.clip(-diff, 0.0, None)
-    deficit = np.clip(diff, 0.0, None)
-    excess_total = excess.sum()
-    deficit_total = deficit.sum()
-    moves = int(round(alpha * min(excess_total, deficit_total)))
-    if moves <= 0:
-        return pre_error
-
-    perm = rng.permutation(n)
-    sort_order = np.argsort(codes[perm], kind="stable")
-    rows_by_cell = perm[sort_order]
-    sorted_codes = codes[perm][sort_order]
-
-    # --- free rows from over-represented cells (bulk) ----------------------
-    over_cells = np.nonzero(excess > 0)[0]
-    over_quota = rng.multinomial(moves, excess[over_cells] / excess_total)
-    lo = np.searchsorted(sorted_codes, over_cells, side="left")
-    hi = np.searchsorted(sorted_codes, over_cells, side="right")
-    cap = np.where(
-        excess[over_cells] >= 1.0,
-        np.minimum(over_quota, np.floor(excess[over_cells]).astype(np.int64)),
-        over_quota,
-    )
-    take = np.minimum(cap, hi - lo)
-    if int(take.sum()) <= 0:
-        return pre_error
-    freed = rows_by_cell[_segment_gather(lo, take)]
-    rng.shuffle(freed)
-
-    # --- refill freed rows for under-represented cells (bulk) ---------------
-    under_cells = np.nonzero(deficit > 0)[0]
-    fill_quota = rng.multinomial(len(freed), deficit[under_cells] / deficit_total)
-    nz = fill_quota > 0
-    cells_nz = under_cells[nz]
-    quota_nz = fill_quota[nz].astype(np.int64)
-    lo_u = np.searchsorted(sorted_codes, cells_nz, side="left")
-    hi_u = np.searchsorted(sorted_codes, cells_nz, side="right")
-    match = hi_u - lo_u
-    n_dup = np.where(
-        match > 0,
-        np.minimum(
-            np.rint(quota_nz * config.duplicate_fraction).astype(np.int64), quota_nz
-        ),
-        0,
-    )
-    seg_start = np.cumsum(quota_nz) - quota_nz
-
-    dup_slots = _segment_gather(seg_start, n_dup)
-    if len(dup_slots):
-        match_per = np.repeat(match, n_dup)
-        lo_per = np.repeat(lo_u, n_dup)
-        offsets = np.minimum(
-            (rng.random(len(dup_slots)) * match_per).astype(np.int64), match_per - 1
-        )
-        sources = rows_by_cell[lo_per + offsets]
-        data[freed[dup_slots]] = data[sources]
-
-    repl_slots = _segment_gather(seg_start + n_dup, quota_nz - n_dup)
-    if len(repl_slots):
-        cell_per = np.repeat(cells_nz, quota_nz - n_dup)
-        coords = np.unravel_index(cell_per, state.shape)
-        rows_repl = freed[repl_slots]
-        for axis, values in zip(state.axes, coords):
-            data[rows_repl, axis] = values
-
-    # --- incremental count/code maintenance for every marginal --------------
-    new_rows = data[freed]
-    for other in states:
-        other.apply_row_updates(freed, new_rows)
-    return pre_error
+    return VectorizedKernel().step(data, states, k, alpha, config, rng)

@@ -1,0 +1,102 @@
+"""The reference GUM kernel: the original per-cell Python loop, verbatim.
+
+Kept as the golden oracle every other kernel is proved against — the pinned
+``PRE_REFACTOR_GOLDEN`` digest was captured on this exact code path, and the
+parity suite asserts the fast kernels reproduce its output bit for bit.
+Never optimize this file; optimize a different kernel instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.synthesis.kernels.base import GumKernel
+
+
+class ReferenceKernel(GumKernel):
+    """Per-cell loops, counts recomputed from scratch every step."""
+
+    name = "reference"
+
+    def step(self, data, states, k, alpha, config, rng):
+        state = states[k]
+        return _update_marginal(
+            data, state.axes, state.shape, state.target, alpha, config, rng
+        )
+
+
+def _update_marginal(
+    data: np.ndarray,
+    axes: np.ndarray,
+    shape: tuple,
+    target: np.ndarray,
+    alpha: float,
+    config,
+    rng: np.random.Generator,
+) -> float:
+    """One GUM step against one marginal; returns its pre-update L1 error.
+
+    This is the reference implementation — per-cell loops, counts recomputed
+    from scratch.  It must stay bit-identical to the pre-engine code: the
+    compatibility tests pin its output digest.
+    """
+    n = data.shape[0]
+    codes = np.ravel_multi_index(tuple(data[:, axes].T), shape)
+    current = np.bincount(codes, minlength=target.size).astype(np.float64)
+    diff = target - current
+    pre_error = float(np.abs(diff).sum()) / (2.0 * n)
+
+    excess = np.clip(-diff, 0.0, None)
+    deficit = np.clip(diff, 0.0, None)
+    excess_total = excess.sum()
+    deficit_total = deficit.sum()
+    moves = int(round(alpha * min(excess_total, deficit_total)))
+    if moves <= 0:
+        return pre_error
+
+    # Group row indices by cell, in random within-cell order, for O(1) slicing.
+    perm = rng.permutation(n)
+    sort_order = np.argsort(codes[perm], kind="stable")
+    rows_by_cell = perm[sort_order]
+    sorted_codes = codes[perm][sort_order]
+
+    # --- free rows from over-represented cells -----------------------------
+    over_cells = np.nonzero(excess > 0)[0]
+    over_quota = rng.multinomial(moves, excess[over_cells] / excess_total)
+    freed_parts = []
+    for cell, quota in zip(over_cells, over_quota):
+        if quota == 0:
+            continue
+        lo = np.searchsorted(sorted_codes, cell, side="left")
+        hi = np.searchsorted(sorted_codes, cell, side="right")
+        take = min(quota, int(excess[cell]) if excess[cell] >= 1 else quota, hi - lo)
+        if take > 0:
+            freed_parts.append(rows_by_cell[lo : lo + take])
+    if not freed_parts:
+        return pre_error
+    freed = np.concatenate(freed_parts)
+    rng.shuffle(freed)
+
+    # --- refill freed rows for under-represented cells ----------------------
+    under_cells = np.nonzero(deficit > 0)[0]
+    fill_quota = rng.multinomial(len(freed), deficit[under_cells] / deficit_total)
+    ptr = 0
+    for cell, quota in zip(under_cells, fill_quota):
+        if quota == 0:
+            continue
+        slots = freed[ptr : ptr + quota]
+        ptr += quota
+        lo = np.searchsorted(sorted_codes, cell, side="left")
+        hi = np.searchsorted(sorted_codes, cell, side="right")
+        matching = rows_by_cell[lo:hi]
+        n_dup = 0
+        if len(matching) > 0:
+            n_dup = min(int(round(len(slots) * config.duplicate_fraction)), len(slots))
+        if n_dup > 0:
+            sources = matching[rng.integers(0, len(matching), size=n_dup)]
+            data[slots[:n_dup]] = data[sources]
+        if n_dup < len(slots):
+            coords = np.unravel_index(cell, shape)
+            for axis, value in zip(axes, coords):
+                data[slots[n_dup:], axis] = value
+    return pre_error

@@ -1,0 +1,156 @@
+"""The vectorized GUM kernel: bulk gathers, cached codes, reference streams.
+
+Restructures the reference per-cell loops into whole-step numpy operations —
+pre-gathered marginal cell codes, fused free/refill passes, no per-record
+Python dispatch — while consuming the random stream *exactly* like
+:mod:`~repro.synthesis.kernels.reference` (see the RNG order contract in
+:mod:`~repro.synthesis.kernels.base`), so its output is bit-identical.
+
+What gets eliminated relative to the reference:
+
+- the per-step ``ravel_multi_index`` + ``bincount`` recompute — each
+  marginal's cell codes and counts are cached across iterations and patched
+  only for the rows a step actually rewrites (integer deltas on float64
+  counts are exact, so the cached counts equal a fresh ``bincount``);
+- the per-cell ``searchsorted`` calls — one vectorized ``searchsorted`` per
+  pass over the whole cell list;
+- the per-cell free/refill slicing — one ``repeat``/``arange`` segment
+  gather per pass;
+- the per-cell attribute writes — one fancy-indexed write per pass.
+
+The only surviving Python loop is the per-cell duplication draw
+(``rng.integers(0, match, size=n_dup)``), which cannot be fused without
+changing the stream; it runs over refilled cells, not records.
+
+The free/refill writes commute with the reference's sequential per-cell
+writes: freed rows come from over-full cells and duplication sources from
+under-full cells, the two cell sets are disjoint (``excess > 0`` vs
+``deficit > 0``), so no source row is ever written within a step and the
+freed slots partition exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.synthesis.kernels.base import GumKernel, _segment_gather
+
+
+class VectorizedKernel(GumKernel):
+    """Whole-step numpy passes over cached per-marginal codes and counts."""
+
+    name = "vectorized"
+    uses_cache = True
+
+    def prepare(self, data, states):
+        for state in states:
+            state.init_cache(data)
+
+    def step(self, data, states, k, alpha, config, rng):
+        state = states[k]
+        n = data.shape[0]
+        codes = state.codes
+        diff = state.target - state.counts
+        pre_error = float(np.abs(diff).sum()) / (2.0 * n)
+
+        excess = np.clip(-diff, 0.0, None)
+        deficit = np.clip(diff, 0.0, None)
+        excess_total = excess.sum()
+        deficit_total = deficit.sum()
+        moves = int(round(alpha * min(excess_total, deficit_total)))
+        if moves <= 0:
+            return pre_error
+
+        perm = rng.permutation(n)
+        rows_by_cell, sorted_codes = self._group_rows(codes, perm, state.target.size)
+
+        # --- free rows from over-represented cells (one pass) --------------
+        over_cells = np.nonzero(excess > 0)[0]
+        over_quota = rng.multinomial(moves, excess[over_cells] / excess_total)
+        lo = np.searchsorted(sorted_codes, over_cells, side="left")
+        hi = np.searchsorted(sorted_codes, over_cells, side="right")
+        cap = np.where(
+            excess[over_cells] >= 1.0,
+            np.minimum(over_quota, np.floor(excess[over_cells]).astype(np.int64)),
+            over_quota,
+        )
+        take = np.minimum(cap, hi - lo)
+        if int(take.sum()) <= 0:
+            return pre_error
+        freed = rows_by_cell[_segment_gather(lo, take)]
+        rng.shuffle(freed)
+
+        # --- refill freed rows for under-represented cells (one pass) ------
+        under_cells = np.nonzero(deficit > 0)[0]
+        fill_quota = rng.multinomial(len(freed), deficit[under_cells] / deficit_total)
+        nz = fill_quota > 0
+        cells_nz = under_cells[nz]
+        quota_nz = fill_quota[nz].astype(np.int64)
+        lo_u = np.searchsorted(sorted_codes, cells_nz, side="left")
+        hi_u = np.searchsorted(sorted_codes, cells_nz, side="right")
+        match = hi_u - lo_u
+        # round() and np.rint both round half to even, so the per-cell split
+        # equals the reference's int(round(quota * fraction)).
+        n_dup = np.where(
+            match > 0,
+            np.minimum(
+                np.rint(quota_nz * config.duplicate_fraction).astype(np.int64), quota_nz
+            ),
+            0,
+        )
+        seg_start = np.cumsum(quota_nz) - quota_nz
+
+        dup_slots = _segment_gather(seg_start, n_dup)
+        if len(dup_slots):
+            # The draw bound varies per cell, so each cell's offsets must come
+            # from its own rng.integers call (same calls, same order as the
+            # reference); the surrounding gathers and the write stay bulk.
+            # tolist() feeds the draws plain Python ints — measurably less
+            # per-call overhead than numpy scalars in Generator.integers.
+            dup_idx = np.nonzero(n_dup > 0)[0]
+            draw = rng.integers
+            offsets = np.concatenate(
+                [
+                    draw(0, bound, size=count)
+                    for bound, count in zip(
+                        match[dup_idx].tolist(), n_dup[dup_idx].tolist()
+                    )
+                ]
+            )
+            lo_per = np.repeat(lo_u, n_dup)
+            sources = rows_by_cell[lo_per + offsets]
+            data[freed[dup_slots]] = data[sources]
+
+        repl_slots = _segment_gather(seg_start + n_dup, quota_nz - n_dup)
+        if len(repl_slots):
+            cell_per = np.repeat(cells_nz, quota_nz - n_dup)
+            coords = np.unravel_index(cell_per, state.shape)
+            rows_repl = freed[repl_slots]
+            for axis, values in zip(state.axes, coords):
+                data[rows_repl, axis] = values
+
+        # --- incremental count/code maintenance for every marginal ----------
+        self._apply_updates(data, states, freed)
+        return pre_error
+
+    def _group_rows(self, codes, perm, size):
+        """Rows grouped by cell (stable in ``perm`` order) + their codes.
+
+        Any stable grouping is bit-equivalent to the reference's
+        ``argsort(codes[perm], kind="stable")``; the numba kernel overrides
+        this with a compiled O(n) counting sort.
+        """
+        cp = codes[perm]
+        sort_order = np.argsort(cp, kind="stable")
+        return perm[sort_order], cp[sort_order]
+
+    def _apply_updates(self, data, states, freed):
+        """Patch every marginal's cached codes/counts for the rewritten rows.
+
+        Split out as the numba kernel's override point: the orchestration
+        above is RNG-consuming (must stay byte-for-byte shared), this pass is
+        pure deterministic maintenance and free to be compiled.
+        """
+        new_rows = data[freed]
+        for other in states:
+            other.apply_row_updates(freed, new_rows)

@@ -1,0 +1,333 @@
+"""Tests for the pluggable GUM kernel subsystem.
+
+Three contracts are enforced here:
+
+1. **Parity** — every kernel, on every backend, for every shard count and
+   legacy update_mode pin, produces a trace digest identical to the
+   reference kernel's (the hypothesis sweep).
+2. **Resolution** — the registry's ``auto`` order is numba -> vectorized ->
+   reference, degrades gracefully when numba is not importable, and rejects
+   unknown names everywhere (registry, ``EngineConfig``, ``run_gum``).
+3. **Persistence** — ``EngineConfig.override`` and model ``save``/``load``
+   round-trip the ``kernel`` field, and a model pinned to an unavailable
+   kernel still samples (with a warning), byte-identically.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import NetDPSyn, SynthesisConfig, load_dataset
+from repro.engine import BACKENDS, EngineConfig
+from repro.synthesis.gum import GumConfig, run_gum
+from repro.synthesis.kernels import (
+    AUTO_ORDER,
+    GumKernel,
+    NumbaKernel,
+    ReferenceKernel,
+    VectorizedKernel,
+    _MarginalState,
+    available_kernels,
+    get_kernel,
+    kernel_names,
+    register_kernel,
+    resolve_kernel_name,
+)
+from repro.synthesis.kernels import numba_kernel as numba_mod
+from repro.synthesis.kernels.numba_kernel import (
+    _group_rows_py,
+    _patch_rows_py,
+    _strides_for,
+)
+
+HAVE_NUMBA = numba_mod.numba_available()
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    table = load_dataset("ton", n_records=1200, seed=17)
+    config = SynthesisConfig(epsilon=2.0)
+    config.gum.iterations = 8
+    return NetDPSyn(config, rng=5).fit(table)
+
+
+@pytest.fixture(scope="module")
+def reference_digests(fitted):
+    """Golden digests per shard count, captured on the reference kernel."""
+    return {
+        shards: fitted.sample(400, rng=9, shards=shards, kernel="reference")
+        .content_digest()
+        for shards in (1, 2, 3)
+    }
+
+
+class TestKernelParity:
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        kernel=st.sampled_from(["auto", "vectorized", "reference"]),
+        backend=st.sampled_from(BACKENDS),
+        shards=st.sampled_from([1, 2, 3]),
+        update_mode=st.sampled_from(["auto", "vectorized", "reference"]),
+    )
+    def test_kernel_backend_shards_mode_digest_equality(
+        self, fitted, reference_digests, kernel, backend, shards, update_mode
+    ):
+        """Kernel/backend/mode choice may never change a single byte."""
+        gum = fitted.config.gum
+        original = gum.update_mode
+        gum.update_mode = update_mode
+        try:
+            digest = fitted.sample(
+                400, rng=9, shards=shards, backend=backend, kernel=kernel
+            ).content_digest()
+        finally:
+            gum.update_mode = original
+        assert digest == reference_digests[shards]
+
+    @pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+    @pytest.mark.parametrize("shards", [1, 2, 3])
+    def test_numba_kernel_digest_equality(self, fitted, reference_digests, shards):
+        digest = fitted.sample(400, rng=9, shards=shards, kernel="numba")
+        assert digest.content_digest() == reference_digests[shards]
+
+    def test_gum_result_records_kernel(self, fitted):
+        fitted.sample(200, rng=3, kernel="reference")
+        assert fitted.gum_result.kernel == "reference"
+        fitted.sample(200, rng=3, kernel="vectorized")
+        assert fitted.gum_result.kernel == "vectorized"
+        fitted.sample(200, rng=3)  # auto resolves to a concrete name
+        assert fitted.gum_result.kernel in AUTO_ORDER
+
+    def test_streaming_paths_record_kernel(self, fitted):
+        parts = list(fitted.sample_stream(300, chunk=100, rng=4, shards=3))
+        assert sum(p.n_records for p in parts) == 300
+        assert fitted.gum_result.kernel in AUTO_ORDER
+
+
+class TestRegistry:
+    def test_always_available_kernels(self):
+        names = available_kernels()
+        assert "reference" in names and "vectorized" in names
+        assert set(names) <= set(kernel_names())
+
+    def test_auto_prefers_numba_when_importable(self, monkeypatch):
+        monkeypatch.setattr(numba_mod, "numba_available", lambda: True)
+        assert resolve_kernel_name("auto") == "numba"
+
+    def test_auto_falls_back_without_numba(self, monkeypatch):
+        monkeypatch.setattr(numba_mod, "numba_available", lambda: False)
+        assert resolve_kernel_name("auto") == "vectorized"
+        assert "numba" not in available_kernels()
+        # The name stays *valid* even while unavailable.
+        assert "numba" in kernel_names()
+
+    def test_unavailable_kernel_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setattr(numba_mod, "numba_available", lambda: False)
+        with pytest.warns(RuntimeWarning, match="not available"):
+            assert resolve_kernel_name("numba") == "vectorized"
+
+    def test_unknown_kernel_rejected_everywhere(self):
+        with pytest.raises(ValueError, match="kernel"):
+            resolve_kernel_name("magic")
+        with pytest.raises(ValueError, match="kernel"):
+            EngineConfig(kernel="magic")
+        with pytest.raises(ValueError, match="update_mode"):
+            GumConfig(update_mode="magic")
+
+    def test_get_kernel_returns_fresh_instances(self):
+        a, b = get_kernel("vectorized"), get_kernel("vectorized")
+        assert isinstance(a, VectorizedKernel) and a is not b
+
+    def test_register_rejects_bad_kernels(self):
+        with pytest.raises(TypeError):
+            register_kernel(object)
+        with pytest.raises(ValueError):
+            register_kernel(type("Bad", (ReferenceKernel,), {"name": "auto"}))
+
+    def test_registered_classes(self):
+        assert isinstance(get_kernel("reference"), ReferenceKernel)
+        assert NumbaKernel.name in kernel_names()
+
+
+class TestRunGumKernelSelection:
+    def _workload(self, n=600, seed=2):
+        from repro.data.domain import Domain
+        from repro.marginals.marginal import Marginal
+
+        rng = np.random.default_rng(seed)
+        domain = Domain({"a": 5, "b": 4, "c": 3})
+        data = np.stack(
+            [rng.integers(0, 5, n), rng.integers(0, 4, n), rng.integers(0, 3, n)],
+            axis=1,
+        ).astype(np.int32)
+        target_ab = Marginal(("a", "b"), rng.random((5, 4)) * n)
+        target_bc = Marginal(("b", "c"), rng.random((4, 3)) * n)
+        return data, [target_ab, target_bc], ("a", "b", "c"), domain
+
+    def test_explicit_kernel_equals_reference(self):
+        data, targets, attrs, domain = self._workload()
+        config = GumConfig(iterations=10)
+        out = {}
+        for kernel in ("reference", "vectorized"):
+            out[kernel] = run_gum(
+                data.copy(), targets, attrs, domain, config, rng=7, kernel=kernel
+            )
+        assert np.array_equal(out["reference"].data, out["vectorized"].data)
+        assert out["reference"].errors == out["vectorized"].errors
+        assert out["reference"].kernel == "reference"
+        assert out["vectorized"].kernel == "vectorized"
+
+    def test_kernel_instance_accepted(self):
+        data, targets, attrs, domain = self._workload()
+        config = GumConfig(iterations=5)
+        a = run_gum(
+            data.copy(), targets, attrs, domain, config, rng=3, kernel=VectorizedKernel()
+        )
+        b = run_gum(data.copy(), targets, attrs, domain, config, rng=3, kernel="auto")
+        assert np.array_equal(a.data, b.data)
+
+    def test_invalid_kernel_name_raises(self):
+        data, targets, attrs, domain = self._workload(n=50)
+        with pytest.raises(ValueError, match="kernel"):
+            run_gum(data, targets, attrs, domain, GumConfig(), rng=1, kernel="magic")
+
+
+class TestNumbaTwins:
+    """The njit sources are plain Python: parity is provable without numba."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_group_rows_matches_stable_argsort(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 500))
+        size = int(rng.integers(1, 60))
+        codes = rng.integers(0, size, size=n)
+        perm = rng.permutation(n)
+        cp = codes[perm]
+        order = np.argsort(cp, kind="stable")
+        rows, sorted_codes = _group_rows_py(codes, perm, size)
+        assert np.array_equal(rows, perm[order])
+        assert np.array_equal(sorted_codes, cp[order])
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_patch_rows_matches_marginal_state(self, seed):
+        rng = np.random.default_rng(seed)
+        n, k = 300, 4
+        shape = (5, 3)
+        axes = np.array([0, 2], dtype=np.int64)
+        data = rng.integers(0, 3, size=(n, k)).astype(np.int32)
+        data[:, 0] = rng.integers(0, 5, size=n)
+        state = _MarginalState(axes, shape, np.zeros(15))
+        state.target = np.zeros(15)
+        state.init_cache(data)
+        twin_codes = state.codes.copy()
+        twin_counts = state.counts.copy()
+
+        rows = rng.choice(n, size=40, replace=False).astype(np.int64)
+        new_vals = np.column_stack(
+            [rng.integers(0, 5, 40), rng.integers(0, 3, 40), rng.integers(0, 3, 40),
+             rng.integers(0, 3, 40)]
+        ).astype(np.int32)
+        data[rows] = new_vals
+
+        state.apply_row_updates(rows, data[rows])
+        _patch_rows_py(
+            data, rows, axes, _strides_for(shape), twin_codes, twin_counts
+        )
+        assert np.array_equal(twin_codes, state.codes)
+        assert np.array_equal(twin_counts, state.counts)
+
+    def test_strides_match_ravel(self):
+        shape = (7, 3, 5)
+        strides = _strides_for(shape)
+        idx = np.array([[6, 2, 4], [0, 0, 0], [3, 1, 2]])
+        expected = np.ravel_multi_index(tuple(idx.T), shape)
+        assert np.array_equal(idx @ strides, expected)
+
+
+class TestKernelConfigPersistence:
+    def test_override_round_trips_kernel(self):
+        config = EngineConfig(kernel="vectorized", shards=2)
+        assert config.override().kernel == "vectorized"
+        assert config.override(kernel="reference").kernel == "reference"
+        assert config.override(shards=4).kernel == "vectorized"
+        assert config.kernel == "vectorized"  # original untouched
+
+    def test_save_load_round_trips_kernel(self, fitted, tmp_path):
+        fitted.config.engine = fitted.config.engine.override(kernel="vectorized")
+        fitted._plan = None  # rebuild the plan with the pinned kernel
+        path = tmp_path / "model.ndpsyn"
+        fitted.save(path)
+        loaded = NetDPSyn.load(path)
+        assert loaded.plan().kernel == "vectorized"
+        assert loaded.config.engine.kernel == "vectorized"
+        assert (
+            loaded.sample(300, rng=11).content_digest()
+            == fitted.sample(300, rng=11).content_digest()
+        )
+
+    def test_model_pinned_to_unavailable_kernel_still_samples(
+        self, fitted, tmp_path, monkeypatch
+    ):
+        """A numba-host model must sample identically on a numpy-only host."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            expected = fitted.sample(250, rng=13).content_digest()
+            fitted.config.engine = fitted.config.engine.override(kernel="numba")
+            fitted._plan = None
+            path = tmp_path / "numba-model.ndpsyn"
+            fitted.save(path)
+        loaded = NetDPSyn.load(path)
+        assert loaded.plan().kernel == "numba"
+        monkeypatch.setattr(numba_mod, "numba_available", lambda: False)
+        with pytest.warns(RuntimeWarning, match="not available"):
+            digest = loaded.sample(250, rng=13).content_digest()
+        assert digest == expected
+
+    def test_plan_without_kernel_field_defaults_to_auto(self, fitted):
+        """Plans unpickled from pre-kernel model files keep working."""
+        plan = fitted.plan()
+        delattr(plan, "kernel")
+        try:
+            assert plan.resolved_kernel() == "auto"
+            shard = plan.run_shard(50, rng=1)
+            assert shard.n_records == 50
+        finally:
+            plan.kernel = "auto"
+            fitted._plan = None
+
+    def test_custom_kernel_registers_and_runs(self, fitted):
+        calls = []
+
+        class ProbeKernel(VectorizedKernel):
+            name = "probe"
+
+            def step(self, data, states, k, alpha, config, rng):
+                calls.append(k)
+                return super().step(data, states, k, alpha, config, rng)
+
+        register_kernel(ProbeKernel)
+        try:
+            out = fitted.sample(150, rng=21, kernel="probe")
+            assert calls, "custom kernel was never stepped"
+            assert (
+                out.content_digest()
+                == fitted.sample(150, rng=21, kernel="reference").content_digest()
+            )
+        finally:
+            from repro.synthesis.kernels.registry import _REGISTRY
+
+            _REGISTRY.pop("probe", None)
+
+
+def test_kernel_protocol_is_abstract():
+    with pytest.raises(TypeError):
+        GumKernel()
