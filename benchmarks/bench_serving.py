@@ -1,0 +1,112 @@
+"""Serving layer: queries/sec serial vs batched over one fitted model.
+
+Query serving is pure post-processing of the published marginals, so the
+serving tier can answer any number of queries under the fit's privacy
+budget; what this benchmark records is the *execution* story:
+
+Correctness gates, asserted at every scale:
+
+- batched answers are bit-identical to serial answers;
+- every query projecting onto a published pair is answered from the
+  marginal path (``provenance == "marginal"``, no sampling);
+- the registry demo observes a cache hit and a hot reload.
+
+Perf gate, asserted at full scale (>= 20k-record fit): batched execution is
+>= 2x serial queries/sec on the mixed workload (marginals, top-k,
+histograms, filtered counts; marginal- and sample-path).  The win comes
+from amortizing source-table computation across query groups, not from
+parallelism, so it shows on one core — but at smoke scale the batched loop
+is single-digit milliseconds and scheduler noise could flake a hard assert,
+so (like the other benches) smoke relies on the committed-baseline ratio
+gate in ``compare_baselines.py`` instead (speedup 2.55x pinned, -30%
+tolerance).
+
+Smoke mode (REPRO_BENCH_SMOKE=1, used by CI) shrinks the fit and the
+workload; queries/sec and speedup land in the timing artifact either way.
+
+Runnable standalone: ``python benchmarks/bench_serving.py [out.json]``.
+"""
+
+import json
+import sys
+
+from conftest import SMOKE, _env_int, attach, fmt
+
+from repro.experiments import serving
+from repro.experiments.runner import ExperimentScale
+
+#: Workload size: large enough that per-query timing noise averages out.
+DEFAULT_QUERIES = 1_500 if SMOKE else 4_000
+
+#: Best-of repetitions for the timing loops.
+DEFAULT_REPS = 3
+
+#: The acceptance-criteria speedup gate for batched execution.
+BATCH_SPEEDUP_GATE = 2.0
+
+#: Below this fit size the timing loops are milliseconds-scale and the hard
+#: speedup assert would measure scheduler noise, not the engine.
+FULL_SCALE_THRESHOLD = 20_000
+
+
+def serving_scale() -> ExperimentScale:
+    n_records = _env_int("REPRO_BENCH_SERVE_RECORDS", 1_000 if SMOKE else 50_000)
+    return ExperimentScale(
+        n_records=n_records,
+        seed=_env_int("REPRO_BENCH_SEED", 0),
+    )
+
+
+def run_and_check(scale: ExperimentScale) -> dict:
+    result = serving.run(
+        scale,
+        n_queries=_env_int("REPRO_BENCH_SERVE_QUERIES", DEFAULT_QUERIES),
+        repetitions=_env_int("REPRO_BENCH_SERVE_REPS", DEFAULT_REPS),
+    )
+    measure = result["measure"]
+    print(
+        f"[serve] serial  {measure['serial_queries_per_second']:>10.0f} q/s  "
+        f"({fmt(measure['serial_seconds'])}s for {measure['n_queries']} queries)"
+    )
+    print(
+        f"[serve] batched {measure['batched_queries_per_second']:>10.0f} q/s  "
+        f"speedup={fmt(measure['batch_speedup'])}  "
+        f"provenance={measure['provenance']}"
+    )
+    print(
+        f"[serve] batch equal: {measure['batch_equal']}  "
+        f"pair-marginal provenance: {result['pair_marginal_provenance_ok']}  "
+        f"registry: {result['registry']['stats']}"
+    )
+
+    assert measure["batch_equal"], "batched answers diverged from serial answers"
+    assert result["pair_marginal_provenance_ok"], (
+        "a published-pair marginal query fell back to the sample path"
+    )
+    assert result["registry"]["hot_reload_ok"], result["registry"]
+    if result["n_records_fit"] >= FULL_SCALE_THRESHOLD:
+        speedup = measure["batch_speedup"]
+        assert speedup >= BATCH_SPEEDUP_GATE, (
+            f"batched execution speedup {speedup:.2f}x < {BATCH_SPEEDUP_GATE}x over serial"
+        )
+    return result
+
+
+def test_serving(benchmark):
+    scale = serving_scale()
+    result = benchmark.pedantic(
+        lambda: run_and_check(scale), rounds=1, iterations=1, warmup_rounds=0
+    )
+    attach(benchmark, result)
+
+
+if __name__ == "__main__":
+    payload = run_and_check(serving_scale())
+    out_path = sys.argv[1] if len(sys.argv) > 1 else None
+    text = json.dumps(payload, indent=2, default=float)
+    if out_path:
+        with open(out_path, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {out_path}")
+    else:
+        print(text)

@@ -67,6 +67,19 @@ GATED_RESULT_METRICS = {
         ("rows", "serial-1", "records_per_second"),
         "higher",
     ),
+    # Serving layer: batched queries/sec is the headline number; the
+    # batch-over-serial speedup is a same-run ratio, so it is robust to
+    # runner speed and is what actually gates the execution plane.
+    "serve.batched.queries_per_second": (
+        "test_serving",
+        ("measure", "batched_queries_per_second"),
+        "higher",
+    ),
+    "serve.batch_speedup": (
+        "test_serving",
+        ("measure", "batch_speedup"),
+        "higher",
+    ),
 }
 
 #: Absolute-throughput metrics depend on the machine the baseline was pinned
@@ -78,7 +91,7 @@ ABSOLUTE_TOLERANCE_MULTIPLIER = 5 / 3  # 30% -> 50%
 
 
 def _is_absolute(metric: str) -> bool:
-    return metric.endswith("records_per_second")
+    return metric.endswith("records_per_second") or metric.endswith("queries_per_second")
 
 #: Every benchmark contributes its harness peak RSS as a lower-is-better gate.
 RSS_METRIC_PREFIX = "peak_rss_bytes."

@@ -22,6 +22,7 @@ from repro.experiments import (
     engine_scaling,
     fig2_sketch,
     fit_scaling,
+    serving,
     stream_throughput,
     fig3_classification,
     fig4_netml,
@@ -55,6 +56,7 @@ EXPERIMENTS = {
     "enginescale": lambda s: engine_scaling.run(s),
     "fitscale": lambda s: fit_scaling.run(s),
     "streamscale": lambda s: stream_throughput.run(s),
+    "serve": lambda s: serving.run(s),
     "ablations": lambda s: {
         "allocation": ablations.run_allocation(s),
         "binning": ablations.run_binning_threshold(s),

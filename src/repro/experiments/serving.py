@@ -1,0 +1,265 @@
+"""Serving layer: query throughput (serial vs batched) over a fitted model.
+
+DPMon-style query serving is pure post-processing of the published noisy
+marginals, so a deployed NetDPSyn system can answer unlimited queries under
+the privacy budget the fit already paid.  This experiment measures what the
+serving layer's batched execution plane buys:
+
+- **throughput** — queries/sec of one-by-one :meth:`QueryEngine.run` against
+  :meth:`QueryEngine.run_batch` over the same mixed workload (marginals,
+  top-k, histograms, filtered counts; marginal-path and sample-path);
+- **exactness** — batched answers must be bit-identical to serial answers
+  (grouping is an execution optimization, never an approximation);
+- **provenance** — every query that projects onto a published pair must be
+  answered from the marginal path (no sampling involved);
+- **registry behavior** — cache hit after a load, hot reload after the model
+  file changes on disk.
+
+Runnable as ``python -m repro.experiments serve`` or standalone::
+
+    python -m repro.experiments.serving
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.binning.categorical import CategoricalCodec
+from repro.core import NetDPSyn, SynthesisConfig
+from repro.experiments.runner import ExperimentScale
+from repro.serving import (
+    PROVENANCE_MARGINAL,
+    ModelRegistry,
+    QueryEngine,
+    answers_equal,
+    count,
+    histogram,
+    marginal,
+    topk,
+)
+from repro.utils.timer import Timer
+
+#: Default workload size; large enough that per-query timing noise averages
+#: out at smoke scale.
+DEFAULT_QUERIES = 2000
+
+
+def _fit(scale: ExperimentScale) -> NetDPSyn:
+    from repro.datasets import load_dataset
+
+    table = load_dataset("ton", n_records=scale.n_records, seed=scale.seed)
+    config = SynthesisConfig(epsilon=scale.epsilon, delta=scale.delta)
+    config.gum.iterations = scale.gum_iterations
+    return NetDPSyn(config, rng=scale.seed + 1).fit(table)
+
+
+def covered_pairs(plan) -> list:
+    """Attribute pairs a single published marginal covers (sorted, unique)."""
+    pairs = set()
+    for m in plan.published:
+        for pair in itertools.combinations(sorted(m.attrs), 2):
+            pairs.add(pair)
+    return sorted(pairs)
+
+
+def uncovered_pairs(plan, attrs=None) -> list:
+    """Pairs of (original-schema) attributes no published marginal covers."""
+    covered = set(covered_pairs(plan))
+    names = [a for a in (attrs or plan.original_schema.names) if a in plan.domain]
+    return [
+        pair
+        for pair in itertools.combinations(sorted(names), 2)
+        if pair not in covered
+    ]
+
+
+def _categorical_values(plan, attr: str) -> list:
+    """Raw category values of one attribute (for filter construction)."""
+    codec = plan.codecs[attr]
+    base = codec.base if hasattr(codec, "base") else codec
+    if isinstance(base, CategoricalCodec):
+        return list(base.categories)
+    return []
+
+
+def build_workload(model, n_queries: int = DEFAULT_QUERIES, seed: int = 0) -> list:
+    """A deterministic mixed query workload over one fitted model.
+
+    Cycles marginal-path work (published-pair marginals, top-k rankings,
+    histograms, filtered counts) with sample-path work (unpublished-pair
+    marginals) in a fixed 40/15/15/15/15 mix.  Queries repeat across a small
+    number of source groups — the realistic dashboard/monitoring shape that
+    batched execution is built for.
+    """
+    plan = model.plan()
+    rng = np.random.default_rng(seed)
+    pairs = covered_pairs(plan)
+    fallback_pairs = uncovered_pairs(plan)
+    numeric = [a for a in ("byt", "pkt", "td", "ts") if a in plan.domain] or list(
+        plan.attrs[:1]
+    )
+    cat_attrs = [a for a in plan.original_schema.names if _categorical_values(plan, a)]
+    single = [a for a in plan.original_schema.names if a in plan.domain]
+
+    queries = []
+    for i in range(n_queries):
+        slot = i % 20
+        if slot < 8 and pairs:  # 40%: published-pair marginals
+            a, b = pairs[int(rng.integers(len(pairs)))]
+            queries.append(marginal(a, b))
+        elif slot < 11:  # 15%: top-k rankings
+            attr = single[int(rng.integers(len(single)))]
+            queries.append(topk(attr, k=int(rng.integers(3, 12))))
+        elif slot < 14:  # 15%: histograms
+            attr = numeric[int(rng.integers(len(numeric)))]
+            queries.append(histogram(attr, bins=int(rng.integers(4, 16))))
+        elif slot < 17 and cat_attrs:  # 15%: filtered counts
+            attr = cat_attrs[int(rng.integers(len(cat_attrs)))]
+            values = _categorical_values(plan, attr)
+            queries.append(count(where={attr: values[int(rng.integers(len(values)))]}))
+        elif fallback_pairs:  # 15%: sample-path marginals
+            a, b = fallback_pairs[int(rng.integers(len(fallback_pairs)))]
+            queries.append(marginal(a, b))
+        else:  # degenerate plans: everything is covered
+            queries.append(count())
+    return queries
+
+
+def measure(engine: QueryEngine, queries: list, repetitions: int = 1) -> dict:
+    """Serial vs batched wall clock over one workload (best of ``repetitions``).
+
+    The sample cache is warmed before timing so both paths measure query
+    execution, not the one-off synthesis of the fallback sample.
+    """
+    sample_needed = [q for q in queries if not engine.answerable_from_marginal(q)]
+    if sample_needed:
+        engine.run(sample_needed[0])  # builds the cached sample once
+
+    serial_seconds = None
+    serial_answers = None
+    for _ in range(max(1, repetitions)):
+        timer = Timer()
+        timer.start()
+        answers = [engine.run(q) for q in queries]
+        elapsed = timer.stop()
+        if serial_seconds is None or elapsed < serial_seconds:
+            serial_seconds, serial_answers = elapsed, answers
+
+    batched_seconds = None
+    batched_answers = None
+    for _ in range(max(1, repetitions)):
+        timer = Timer()
+        timer.start()
+        answers = engine.run_batch(queries)
+        elapsed = timer.stop()
+        if batched_seconds is None or elapsed < batched_seconds:
+            batched_seconds, batched_answers = elapsed, answers
+
+    equal = len(serial_answers) == len(batched_answers) and all(
+        answers_equal(s, b) for s, b in zip(serial_answers, batched_answers)
+    )
+    provenance: dict = {}
+    for answer in batched_answers:
+        provenance[answer.provenance] = provenance.get(answer.provenance, 0) + 1
+    return {
+        "n_queries": len(queries),
+        "repetitions": repetitions,
+        "serial_seconds": serial_seconds,
+        "serial_queries_per_second": len(queries) / serial_seconds,
+        "batched_seconds": batched_seconds,
+        "batched_queries_per_second": len(queries) / batched_seconds,
+        "batch_speedup": serial_seconds / batched_seconds,
+        "batch_equal": equal,
+        "provenance": provenance,
+    }
+
+
+def _registry_demo(model, tmp: Path) -> dict:
+    """Exercise load -> hit -> hot-reload through a registry on disk."""
+    model_path = tmp / "ton.ndpsyn"
+    model.save(model_path)
+    registry = ModelRegistry(tmp)
+    registry.get("ton")  # cold load
+    registry.get("ton")  # hit
+    # Atomic-replace deployment: rewrite the file, bump mtime past the
+    # filesystem's timestamp granularity, observe the reload.
+    model.save(model_path)
+    stat = model_path.stat()
+    os.utime(model_path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+    registry.get("ton")
+    stats = registry.stats.as_dict()
+    return {
+        "models_on_disk": registry.list_models(),
+        "stats": stats,
+        "hot_reload_ok": stats["reloads"] >= 1 and stats["hits"] >= 1,
+    }
+
+
+def run(
+    scale: ExperimentScale | None = None,
+    n_queries: int | None = None,
+    repetitions: int = 3,
+    sample_records: int | None = None,
+) -> dict:
+    """Fit once, then measure the serving layer end to end at ``scale``."""
+    scale = scale or ExperimentScale()
+    n_queries = n_queries if n_queries is not None else DEFAULT_QUERIES
+    model = _fit(scale)
+    plan = model.plan()
+    # The fallback sample is floored at 20k records even for tiny fits: a
+    # serving tier sizes its cache for answer quality, not for the fit size,
+    # and a too-small cache would understate the sample path's real cost.
+    if sample_records is None:
+        sample_records = max(scale.n_records, 20_000)
+    engine = QueryEngine(model, sample_records=sample_records)
+
+    queries = build_workload(model, n_queries=n_queries, seed=scale.seed)
+    timing = measure(engine, queries, repetitions=repetitions)
+
+    pair_queries = [
+        marginal(a, b) for a, b in covered_pairs(plan)[:16]
+    ]
+    pair_answers = engine.run_batch(pair_queries)
+    pair_marginal_ok = all(
+        a.provenance == PROVENANCE_MARGINAL for a in pair_answers
+    )
+
+    examples = []
+    for query in (count(), topk("dstport", k=3), count(where={"proto": "TCP"})):
+        answer = engine.run(query)
+        examples.append(
+            {
+                "query": repr(answer.query),
+                "provenance": answer.provenance,
+                "value": answer.value if not hasattr(answer.value, "tolist") else answer.value.tolist(),
+            }
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = _registry_demo(model, Path(tmp))
+
+    return {
+        "n_records_fit": scale.n_records,
+        "n_published_marginals": len(plan.published),
+        "n_covered_pairs": len(covered_pairs(plan)),
+        "n_fallback_pairs": len(uncovered_pairs(plan)),
+        "measure": timing,
+        "pair_marginal_provenance_ok": pair_marginal_ok,
+        "examples": examples,
+        "registry": registry,
+    }
+
+
+def main() -> None:
+    payload = run(ExperimentScale())
+    print(json.dumps(payload, indent=2, default=float))
+
+
+if __name__ == "__main__":
+    main()

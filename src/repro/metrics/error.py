@@ -9,19 +9,42 @@ def relative_error(synthetic: float, raw: float, eps: float = 1e-12) -> float:
     """The paper's relative error ``|x_syn - x_raw| / |x_raw|``.
 
     Used both for sketch heavy-hitter errors (Fig. 2, where x is the sketch
-    estimation error itself) and NetML anomaly ratios (Fig. 4).  A tiny
-    ``eps`` guards division when the raw quantity is zero.
+    estimation error itself) and NetML anomaly ratios (Fig. 4).
+
+    Zero-denominator contract (explicit, shared with
+    :func:`mean_relative_error`): when ``|raw| <= eps`` the ratio is
+    undefined, so
+
+    - ``|synthetic| <= eps`` too: the error is **0.0** — both quantities are
+      zero, which is perfect agreement, not 0/0;
+    - otherwise: ``|synthetic| / eps`` — a large *finite* sentinel ratio
+      that dominates any genuine relative error while keeping downstream
+      means finite (the paper's figures average these errors).
     """
     raw = float(raw)
     synthetic = float(synthetic)
-    return abs(synthetic - raw) / max(abs(raw), eps)
+    if abs(raw) <= eps:
+        if abs(synthetic) <= eps:
+            return 0.0
+        return abs(synthetic) / eps
+    return abs(synthetic - raw) / abs(raw)
 
 
 def mean_relative_error(synthetic, raw, eps: float = 1e-12) -> float:
-    """Mean of element-wise relative errors over paired arrays."""
+    """Mean of element-wise relative errors over paired arrays.
+
+    Applies the same zero-denominator contract as :func:`relative_error` to
+    every element: aligned zeros contribute 0, a zero raw value against a
+    non-zero synthetic one contributes the finite sentinel ``|syn| / eps``.
+    """
     synthetic = np.asarray(synthetic, dtype=np.float64)
     raw = np.asarray(raw, dtype=np.float64)
     if synthetic.shape != raw.shape:
         raise ValueError("arrays must be aligned")
-    denom = np.maximum(np.abs(raw), eps)
-    return float(np.mean(np.abs(synthetic - raw) / denom))
+    zero_raw = np.abs(raw) <= eps
+    numer = np.abs(synthetic - raw)
+    # Zero-denominator cells: |syn| / eps, except aligned zeros which are 0.
+    numer = np.where(zero_raw, np.abs(synthetic), numer)
+    numer = np.where(zero_raw & (np.abs(synthetic) <= eps), 0.0, numer)
+    denom = np.where(zero_raw, eps, np.abs(raw))
+    return float(np.mean(numer / denom))

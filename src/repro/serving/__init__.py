@@ -1,0 +1,53 @@
+"""DP query serving over fitted models (post-processing — zero extra budget).
+
+The serving layer is the tier users actually hit in a deployed NetDPSyn
+system: a :class:`ModelRegistry` keeps ``.ndpsyn`` model files hot (LRU with
+a byte budget, thread-safe, hot-reload on file change) and a
+:class:`QueryEngine` answers a typed query algebra (:func:`count`,
+:func:`marginal`, :func:`topk`, :func:`histogram`, each with optional
+filters) — preferring exact reads off the published noisy marginals and
+falling back to a bounded-memory cached synthetic sample, with per-answer
+provenance.  See ``docs/serving.md``.
+"""
+
+from repro.serving.engine import (
+    DEFAULT_SAMPLE_RECORDS,
+    QueryEngine,
+    bin_labels,
+)
+from repro.serving.queries import (
+    PROVENANCE_MARGINAL,
+    PROVENANCE_SAMPLE,
+    Query,
+    QueryAnswer,
+    answers_equal,
+    count,
+    histogram,
+    marginal,
+    topk,
+)
+from repro.serving.registry import (
+    DEFAULT_BYTE_BUDGET,
+    MODEL_SUFFIX,
+    ModelRegistry,
+    RegistryStats,
+)
+
+__all__ = [
+    "DEFAULT_BYTE_BUDGET",
+    "DEFAULT_SAMPLE_RECORDS",
+    "MODEL_SUFFIX",
+    "ModelRegistry",
+    "PROVENANCE_MARGINAL",
+    "PROVENANCE_SAMPLE",
+    "Query",
+    "QueryAnswer",
+    "QueryEngine",
+    "RegistryStats",
+    "answers_equal",
+    "bin_labels",
+    "count",
+    "histogram",
+    "marginal",
+    "topk",
+]

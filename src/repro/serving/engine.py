@@ -1,0 +1,374 @@
+"""QueryEngine: answer the query algebra over one fitted model.
+
+Every answer is post-processing of the model's published noisy marginals,
+so serving queries spends **zero** additional privacy budget — the engine
+can answer as many queries as it likes under the same ``(epsilon, delta)``
+the fit already paid for.  Two execution paths exist, recorded per answer
+as :attr:`~repro.serving.queries.QueryAnswer.provenance`:
+
+- **marginal path** — the query's attributes (targets plus filters) project
+  onto a single published marginal: the answer is read straight off that
+  table (no sampling, no extra noise beyond what publication added).  This
+  is the preferred path; it is exact with respect to the release.
+- **sample path** — no single published marginal covers the attributes: the
+  engine falls back to a cached synthetic sample (built once, lazily, via
+  ``sample_stream`` so peak RSS stays bounded by the chunk size), counts
+  bins over its *encoded* rows, and rescales to the release's noisy record
+  count.  These answers carry sampling error on top of the publication
+  noise, shrinking with ``sample_records``.
+
+``run()`` is stateless per call — it recomputes the query's source counts
+every time.  ``run_batch()`` is the vectorized plane: queries are grouped by
+``(provenance, source marginal, needed attributes)`` and each group's joint
+count table is computed once and sliced per query, so batched answers are
+*bit-identical* to one-by-one answers while amortizing all the heavy numpy
+work (marginal projections, sample bin-counts) across the group.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.binning.base import MergedCodec
+from repro.binning.categorical import CategoricalCodec
+from repro.serving.queries import (
+    PROVENANCE_MARGINAL,
+    PROVENANCE_SAMPLE,
+    Query,
+    QueryAnswer,
+)
+
+#: Default cap on the cached synthetic sample backing the sample path.  The
+#: cache stores one int32 code per (record, attribute), so at the default
+#: cap a dozen-attribute model costs ~5 MB — far below a decoded trace.
+DEFAULT_SAMPLE_RECORDS = 100_000
+
+#: Chunk size of the lazy ``sample_stream`` build (bounds its peak RSS).
+DEFAULT_SAMPLE_CHUNK = 50_000
+
+#: Cap on the memoized (attr, filter values) -> bin-ids cache.  A long-lived
+#: serving engine sees arbitrarily many distinct client filters; beyond the
+#: cap, oldest entries are dropped FIFO so the cache cannot grow without
+#: bound (re-encoding a handful of values is near-free anyway).
+MAX_FILTER_CACHE = 4096
+
+
+def bin_labels(codec) -> list:
+    """Human-readable label per bin of one attribute codec.
+
+    Categorical bins label themselves with their categories (merged bins
+    join members with ``|``); numeric bins render their ``[lo, hi)`` range
+    (collapsed to the single value for unit-width integer bins); anything
+    else falls back to ``bin<i>``.
+    """
+    if isinstance(codec, CategoricalCodec):
+        return [str(c) for c in codec.categories]
+    if isinstance(codec, MergedCodec) and isinstance(codec.base, CategoricalCodec):
+        cats = codec.base.categories
+        return ["|".join(str(cats[m]) for m in members) for members in codec.member_lists]
+    bounds = codec.bin_bounds()
+    if bounds is None:
+        return [f"bin{i}" for i in range(codec.domain_size)]
+    labels = []
+    for lo, hi in zip(*bounds):
+        if hi == lo + 1.0 and float(lo).is_integer():
+            labels.append(str(int(lo)))
+        else:
+            labels.append(f"[{lo:g}, {hi:g})")
+    return labels
+
+
+class QueryEngine:
+    """Serves the query algebra over one fitted (or loaded) NetDPSyn model.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`~repro.core.synthesizer.NetDPSyn` (typically a
+        :meth:`~repro.core.synthesizer.NetDPSyn.load`-ed one).
+    sample_records:
+        Size of the cached synthetic sample backing the sample path
+        (default: the release's record count, capped at
+        :data:`DEFAULT_SAMPLE_RECORDS`).  Larger = less sampling error,
+        more memory.
+    sample_chunk:
+        ``sample_stream`` chunk size for the lazy cache build.
+    sample_seed:
+        Seed of the cache's sampling stream; fixed so an engine's sample-path
+        answers are reproducible across processes.
+
+    Thread safety: answering is read-only over numpy arrays; the one mutable
+    step (the lazy sample-cache build) is guarded by a lock, so concurrent
+    ``run``/``run_batch`` calls from multiple threads are safe.
+    """
+
+    def __init__(
+        self,
+        model,
+        sample_records: int | None = None,
+        sample_chunk: int = DEFAULT_SAMPLE_CHUNK,
+        sample_seed: int = 0,
+    ) -> None:
+        self._model = model
+        self._plan = model.plan()
+        self._domain = self._plan.domain
+        self._codecs = self._plan.codecs
+        # Pre-resolved attribute sets: resolve() runs per query on the serial
+        # path, so the per-marginal set is built once here, not per call.
+        self._published = [(m, frozenset(m.attrs)) for m in self._plan.published]
+        if sample_records is None:
+            sample_records = min(self._plan.default_n, DEFAULT_SAMPLE_RECORDS)
+        if sample_records < 1:
+            raise ValueError(f"sample_records must be >= 1, got {sample_records}")
+        self.sample_records = int(sample_records)
+        self.sample_chunk = int(sample_chunk)
+        self.sample_seed = sample_seed
+        self._sample_lock = threading.Lock()
+        #: ``(codes by attr, n_records)``, published as ONE attribute so the
+        #: lock-free fast path in :meth:`_sample` can never observe a
+        #: half-initialized pair.
+        self._sample_cache: tuple | None = None
+        self._marginal_by_attrs = {m.attrs: m for m, _ in self._published}
+        # Immutable per-attribute metadata, memoized on first use: bin labels,
+        # numeric bin bounds (plus midpoints for histograms), and encoded
+        # filter bins.  These caches never hold query *results* — run() still
+        # recomputes every answer's source counts per call.
+        self._labels_cache: dict = {}
+        self._bounds_cache: dict = {}
+        self._filter_bins_cache: dict = {}
+
+    # -------------------------------------------------------------- metadata
+    @property
+    def attrs(self) -> tuple:
+        """Queryable attributes (the encoded plan's attribute order)."""
+        return self._plan.attrs
+
+    def labels(self, attr: str) -> list:
+        """Bin labels of one attribute (see :func:`bin_labels`); memoized."""
+        self._check_attrs((attr,))
+        if attr not in self._labels_cache:
+            self._labels_cache[attr] = bin_labels(self._codecs[attr])
+        return self._labels_cache[attr]
+
+    def _bounds(self, attr: str):
+        """Memoized ``(lo, hi, midpoints)`` numeric bounds, or ``None``."""
+        if attr not in self._bounds_cache:
+            bounds = self._codecs[attr].bin_bounds()
+            if bounds is None:
+                self._bounds_cache[attr] = None
+            else:
+                lo, hi = bounds
+                self._bounds_cache[attr] = (lo, hi, (lo + hi) / 2.0)
+        return self._bounds_cache[attr]
+
+    def answerable_from_marginal(self, query: Query) -> bool:
+        """Whether the marginal path (no sampling) can answer ``query``."""
+        return self.resolve(query)[0] == PROVENANCE_MARGINAL
+
+    @staticmethod
+    def _check_prefer(prefer: str) -> None:
+        if prefer not in ("auto", "marginal", "sample"):
+            raise ValueError(
+                f"prefer must be 'auto', 'marginal', or 'sample', got {prefer!r}"
+            )
+
+    # ------------------------------------------------------------ resolution
+    def _check_attrs(self, attrs) -> None:
+        unknown = [a for a in attrs if a not in self._domain]
+        if unknown:
+            raise KeyError(
+                f"unknown attribute(s) {unknown}; queryable attributes: {list(self.attrs)}"
+            )
+
+    def resolve(self, query: Query, prefer: str = "auto") -> tuple:
+        """``(provenance, source)`` for one query.
+
+        ``source`` is the attribute tuple of the smallest published marginal
+        covering every needed attribute (ties keep publication order), or
+        ``None`` when no single marginal covers them and the sample path
+        must answer.  ``prefer="sample"`` forces the fallback path even when
+        a marginal covers the query (the fidelity suite compares the two);
+        ``prefer="marginal"`` raises ``LookupError`` instead of falling back.
+        """
+        self._check_prefer(prefer)
+        needed = query.needed_attrs
+        self._check_attrs(needed)
+        if prefer == "sample":
+            return PROVENANCE_SAMPLE, None
+        needed_set = frozenset(needed)
+        best = None
+        for m, attr_set in self._published:
+            if needed_set <= attr_set and (best is None or m.n_cells < best.n_cells):
+                best = m
+        if best is not None:
+            return PROVENANCE_MARGINAL, best.attrs
+        if prefer == "marginal":
+            raise LookupError(
+                f"no single published marginal covers {needed}; "
+                f"use prefer='auto' to allow the sample path"
+            )
+        return PROVENANCE_SAMPLE, None
+
+    # ----------------------------------------------------------- sample path
+    def _sample(self) -> tuple:
+        """The cached encoded sample ``(codes by attr, n_records)``; lazy."""
+        cache = self._sample_cache
+        if cache is None:
+            with self._sample_lock:
+                cache = self._sample_cache
+                if cache is None:
+                    cache = self._build_sample()
+                    self._sample_cache = cache
+        return cache
+
+    def _build_sample(self) -> tuple:
+        """Synthesize + re-encode the sample cache at bounded RSS.
+
+        Chunks stream through ``sample_stream`` and are immediately folded
+        down to int32 bin codes, so the decoded chunks never accumulate;
+        peak memory is one decoded chunk plus the final code matrix.
+        """
+        n = self.sample_records
+        chunk = max(1, min(self.sample_chunk, n))
+        parts: dict = {}
+        for part in self._model.sample_stream(n, chunk=chunk, rng=self.sample_seed):
+            for attr in self._plan.attrs:
+                # Auxiliary attributes (tsdiff) decode away with the original
+                # schema; they stay answerable through the marginal path only.
+                if attr in part.schema:
+                    parts.setdefault(attr, []).append(
+                        self._codecs[attr].encode(part.column(attr))
+                    )
+        codes = {attr: np.concatenate(chunks) for attr, chunks in parts.items()}
+        n_rows = len(next(iter(codes.values()))) if codes else 0
+        return codes, n_rows
+
+    # ----------------------------------------------------------- joint counts
+    def _joint(self, provenance: str, source: tuple | None, needed: tuple) -> np.ndarray:
+        """Joint count table over ``needed``, from the resolved source.
+
+        Marginal path: a projection of the published table (fit-scale
+        counts, exactly as released).  Sample path: bin counts over the
+        cached sample, rescaled to the release's noisy record count so both
+        paths answer in the same units.
+        """
+        if provenance == PROVENANCE_MARGINAL:
+            return self._marginal_by_attrs[source].project(needed).counts
+        codes, n_rows = self._sample()
+        missing = [a for a in needed if a not in codes]
+        if missing:
+            raise KeyError(
+                f"attribute(s) {missing} exist only in the encoded domain and no "
+                f"published marginal covers {needed}; they cannot be answered "
+                f"from the decoded sample"
+            )
+        scale = self._plan.default_n / n_rows
+        if not needed:  # pragma: no cover - count() always resolves to a marginal
+            return np.asarray(float(n_rows) * scale)
+        shape = self._domain.shape(needed)
+        folded = codes[needed[0]].astype(np.int64)
+        for attr in needed[1:]:
+            folded = folded * self._domain.size(attr) + codes[attr]
+        counts = np.bincount(folded, minlength=int(np.prod(shape, dtype=np.int64)))
+        return counts.astype(np.float64).reshape(shape) * scale
+
+    # ------------------------------------------------------------- finishing
+    def _where_bins(self, attr: str, values: tuple) -> np.ndarray:
+        """Encode raw filter values to their (unique, sorted) bin ids; memoized
+        per ``(attr, values)`` — filters repeat heavily in real workloads.
+        The cache is bounded at :data:`MAX_FILTER_CACHE` entries — at the cap
+        it is dropped wholesale (a single atomic ``clear``, safe under
+        concurrent readers) and rebuilt by subsequent queries."""
+        key = (attr, values)
+        cached = self._filter_bins_cache.get(key)
+        if cached is None:
+            codec = self._codecs[attr]
+            cached = np.unique(codec.encode(np.asarray(values)))
+            if len(self._filter_bins_cache) >= MAX_FILTER_CACHE:
+                self._filter_bins_cache.clear()
+            self._filter_bins_cache[key] = cached
+        return cached
+
+    def _apply_where(self, query: Query, joint: np.ndarray) -> np.ndarray:
+        """Reduce the filter axes of a joint table down to the target attrs."""
+        counts = joint
+        # Reduce from the last filter axis backwards so earlier axis indices
+        # stay valid as axes disappear.
+        for offset in reversed(range(len(query.where))):
+            attr, values = query.where[offset]
+            axis = len(query.attrs) + offset
+            bins = self._where_bins(attr, values)
+            counts = counts.take(bins, axis=axis).sum(axis=axis)
+        return counts
+
+    def _finish(
+        self, query: Query, joint: np.ndarray, provenance: str, source: tuple | None
+    ) -> QueryAnswer:
+        """Shape one answer out of its (possibly shared) joint count table."""
+        counts = self._apply_where(query, joint)
+        if query.kind == "count":
+            value: object = float(counts)
+        elif query.kind == "marginal":
+            # An unfiltered query's counts ARE the (possibly group-shared)
+            # joint; hand every answer its own array so a client mutating one
+            # answer in place can never corrupt its batch-mates.
+            value = counts.copy() if counts is joint else counts
+        elif query.kind == "topk":
+            attr = query.attrs[0]
+            k = min(query.k, counts.shape[0])
+            order = np.argsort(-counts, kind="stable")[:k]
+            labels = self.labels(attr)
+            value = [
+                {"bin": int(b), "label": labels[b], "count": float(counts[b])}
+                for b in order
+            ]
+        else:  # histogram
+            attr = query.attrs[0]
+            bounds = self._bounds(attr)
+            if bounds is None:
+                raise ValueError(
+                    f"histogram requires numeric bin bounds, but {attr!r} has none; "
+                    f"use marginal() or topk() for categorical attributes"
+                )
+            lo, hi, mids = bounds
+            hist, edges = np.histogram(
+                mids,
+                bins=query.bins,
+                range=(float(lo.min()), float(hi.max())),
+                weights=counts,
+            )
+            value = {"edges": edges, "counts": hist}
+        return QueryAnswer(query=query, value=value, provenance=provenance, source=source)
+
+    # -------------------------------------------------------------- execution
+    def run(self, query: Query, prefer: str = "auto") -> QueryAnswer:
+        """Answer one query (stateless: the source table is recomputed)."""
+        provenance, source = self.resolve(query, prefer)
+        joint = self._joint(provenance, source, query.needed_attrs)
+        return self._finish(query, joint, provenance, source)
+
+    def run_batch(self, queries, prefer: str = "auto") -> list:
+        """Answer many queries, sharing work within source groups.
+
+        Queries resolving to the same ``(provenance, source marginal,
+        needed attributes)`` share one joint count table, computed once and
+        sliced per query.  Answers come back in input order and are
+        bit-identical to calling :meth:`run` on each query — grouping is a
+        pure execution optimization.
+        """
+        queries = list(queries)
+        resolved: dict = {}
+        joints: dict = {}
+        answers = []
+        for query in queries:
+            needed = query.needed_attrs
+            if needed not in resolved:
+                resolved[needed] = self.resolve(query, prefer)
+            provenance, source = resolved[needed]
+            key = (provenance, source, needed)
+            if key not in joints:
+                joints[key] = self._joint(provenance, source, needed)
+            answers.append(self._finish(query, joints[key], provenance, source))
+        return answers

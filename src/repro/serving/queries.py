@@ -1,0 +1,169 @@
+"""The typed query algebra served over fitted models.
+
+A :class:`Query` is a small frozen value object describing one analytic
+question over the release — a count, a marginal distribution, a top-k
+ranking, or a numeric histogram, each optionally restricted by an equality
+filter (``where``).  Queries are hashable so the engine can group a batch by
+its shared *source* (the published marginal or cached sample slice that
+answers it) and evaluate each group in one numpy pass.
+
+All queries operate at the granularity of the release's DP binning: a filter
+like ``where={"dstport": 80}`` selects the *bin(s)* the given raw values
+fall into, exactly as the synthesizer itself would encode them.  That is not
+a limitation of the engine but of the release — the published marginals
+never resolve anything finer than a bin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Provenance values a :class:`QueryAnswer` may carry.
+PROVENANCE_MARGINAL = "marginal"
+PROVENANCE_SAMPLE = "sample"
+
+QUERY_KINDS = ("count", "marginal", "topk", "histogram")
+
+
+def _freeze_where(where) -> tuple:
+    """Normalize a ``where`` mapping to a sorted, hashable tuple.
+
+    Accepts ``{attr: value}`` or ``{attr: [values...]}``; the frozen form is
+    ``((attr, (v0, v1, ...)), ...)`` sorted by attribute so two filters that
+    mean the same thing compare (and hash) equal.
+    """
+    if not where:
+        return ()
+    if isinstance(where, tuple):
+        where = dict(where)
+    items = []
+    for attr, values in sorted(where.items()):
+        if isinstance(values, (list, tuple, set, frozenset)):
+            frozen = tuple(sorted(set(values), key=repr))
+            if not frozen:
+                raise ValueError(f"empty filter value list for {attr!r}")
+        else:
+            frozen = (values,)
+        items.append((attr, frozen))
+    return tuple(items)
+
+
+@dataclass(frozen=True)
+class Query:
+    """One typed query; build with :func:`count` / :func:`marginal` /
+    :func:`topk` / :func:`histogram` rather than directly."""
+
+    kind: str
+    attrs: tuple = ()
+    k: int = 10
+    bins: int = 10
+    where: tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.kind not in QUERY_KINDS:
+            raise ValueError(f"unknown query kind {self.kind!r}; expected {QUERY_KINDS}")
+        object.__setattr__(self, "attrs", tuple(self.attrs))
+        object.__setattr__(self, "where", _freeze_where(self.where))
+        if self.kind == "count":
+            if self.attrs:
+                raise ValueError("count() takes no target attributes, only a filter")
+        elif not self.attrs:
+            raise ValueError(f"{self.kind} query requires at least one attribute")
+        if len(set(self.attrs)) != len(self.attrs):
+            raise ValueError(f"duplicate target attributes: {list(self.attrs)}")
+        if self.kind in ("topk", "histogram") and len(self.attrs) != 1:
+            raise ValueError(f"{self.kind} query targets exactly one attribute")
+        if self.kind == "topk" and self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.kind == "histogram" and self.bins < 1:
+            raise ValueError(f"bins must be >= 1, got {self.bins}")
+        overlap = set(self.attrs) & {a for a, _ in self.where}
+        if overlap:
+            raise ValueError(f"attributes cannot be both target and filter: {sorted(overlap)}")
+
+    @property
+    def where_attrs(self) -> tuple:
+        """Filter attributes, in frozen (sorted) order."""
+        return tuple(a for a, _ in self.where)
+
+    @property
+    def needed_attrs(self) -> tuple:
+        """Every attribute the answer touches: targets then filters."""
+        return self.attrs + self.where_attrs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.kind, "x".join(self.attrs) or "*"]
+        if self.kind == "topk":
+            parts.append(f"k={self.k}")
+        if self.kind == "histogram":
+            parts.append(f"bins={self.bins}")
+        if self.where:
+            parts.append(f"where={dict(self.where)}")
+        return f"Query({', '.join(parts)})"
+
+
+def count(where=None) -> Query:
+    """Estimated number of records (optionally matching ``where``)."""
+    return Query(kind="count", where=where or ())
+
+
+def marginal(*attrs, where=None) -> Query:
+    """Estimated joint distribution (cell counts) over ``attrs``."""
+    return Query(kind="marginal", attrs=attrs, where=where or ())
+
+
+def topk(attr: str, k: int = 10, where=None) -> Query:
+    """The ``k`` heaviest bins of one attribute, by estimated count."""
+    return Query(kind="topk", attrs=(attr,), k=k, where=where or ())
+
+
+def histogram(attr: str, bins: int = 10, where=None) -> Query:
+    """Numeric histogram of one attribute with ``bins`` equal-width buckets."""
+    return Query(kind="histogram", attrs=(attr,), bins=bins, where=where or ())
+
+
+def answers_equal(a: "QueryAnswer", b: "QueryAnswer") -> bool:
+    """Exact (bit-level) equality of two answers.
+
+    The batched execution plane promises bit-identical results to serial
+    execution; this is the comparison that promise is checked with — floats
+    compare with ``==``, arrays with ``np.array_equal`` (no tolerance).
+    """
+    import numpy as np
+
+    if a.query != b.query or a.provenance != b.provenance or a.source != b.source:
+        return False
+    va, vb = a.value, b.value
+    if isinstance(va, np.ndarray) or isinstance(vb, np.ndarray):
+        return np.array_equal(va, vb)
+    if isinstance(va, dict) and isinstance(vb, dict):  # histogram payloads
+        return set(va) == set(vb) and all(np.array_equal(va[k], vb[k]) for k in va)
+    if isinstance(va, list) and isinstance(vb, list):  # topk payloads
+        return va == vb
+    return va == vb
+
+
+@dataclass(frozen=True, eq=False)
+class QueryAnswer:
+    """One answered query.
+
+    ``eq=False``: ``value`` may be an ndarray, which a generated ``__eq__``
+    would crash on (ambiguous array truth); compare answers with
+    :func:`answers_equal` instead.  Identity equality/hash apply.
+
+    ``value`` is kind-shaped: a float for ``count``, a dense ndarray over
+    the attrs' bin domain for ``marginal``, a list of
+    ``{"bin", "label", "count"}`` rows for ``topk``, and
+    ``{"edges", "counts"}`` for ``histogram``.  ``provenance`` records which
+    path produced it — :data:`PROVENANCE_MARGINAL` (projected straight off a
+    published noisy marginal, no sampling involved) or
+    :data:`PROVENANCE_SAMPLE` (estimated from the engine's cached synthetic
+    sample and rescaled to the release's record count).  ``source`` is the
+    attribute tuple of the published marginal that answered (``None`` for
+    the sample path).
+    """
+
+    query: Query
+    value: object
+    provenance: str
+    source: tuple | None = None

@@ -1,0 +1,230 @@
+"""ModelRegistry: a thread-safe, byte-budgeted LRU cache of fitted models.
+
+The serving deployment story is fit-once/serve-anywhere: fitted models are
+saved as ``.ndpsyn`` files (:mod:`repro.io`) into a directory, and a
+stateless serving tier points a registry at that directory.  The registry
+
+- loads models on demand through :meth:`~repro.core.synthesizer.NetDPSyn.load`
+  and keeps them hot in an LRU cache bounded by a **byte budget** (cost =
+  the model file's size on disk, a faithful proxy for the unpickled plan);
+- **hot-reloads** a model whenever its file changes on disk (mtime or size
+  drift is checked on every ``get``), so re-fitting and atomically replacing
+  a file rolls the serving tier forward without restarts;
+- hands out per-model :class:`~repro.serving.engine.QueryEngine` instances,
+  cached alongside the model and invalidated together with it.
+
+All public methods are safe to call from multiple threads.  One registry
+lock serializes cache *mutation*, but slow model loads run outside it under
+a per-model load lock: cache hits for other models stay lock-fast while a
+cold load or hot reload is unpickling, and concurrent first requests for
+the same model still deduplicate to a single load.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.serving.engine import QueryEngine
+
+#: Default cache budget: plenty for dozens of laptop-scale models; size it
+#: to available RAM minus headroom in a real deployment.
+DEFAULT_BYTE_BUDGET = 512 * 1024 * 1024
+
+MODEL_SUFFIX = ".ndpsyn"
+
+
+@dataclass
+class RegistryStats:
+    """Counters for observability (and the eviction/hot-reload tests)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    reloads: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "reloads": self.reloads,
+        }
+
+
+@dataclass
+class _Entry:
+    """One cached model plus the file fingerprint it was loaded from."""
+
+    model: object
+    size: int
+    mtime_ns: int
+    #: Engine cache: options-key -> QueryEngine, dropped on reload/eviction.
+    engines: dict = field(default_factory=dict)
+
+    def fingerprint(self) -> tuple:
+        return (self.mtime_ns, self.size)
+
+
+class ModelRegistry:
+    """Loads and serves fitted models from a directory of ``.ndpsyn`` files.
+
+    >>> registry = ModelRegistry("models/")           # doctest: +SKIP
+    >>> engine = registry.engine("ton-eps2")          # doctest: +SKIP
+    >>> engine.run(queries.count())                   # doctest: +SKIP
+    """
+
+    def __init__(self, root, byte_budget: int = DEFAULT_BYTE_BUDGET) -> None:
+        self.root = Path(root)
+        if byte_budget < 1:
+            raise ValueError(f"byte_budget must be >= 1, got {byte_budget}")
+        self.byte_budget = int(byte_budget)
+        self.stats = RegistryStats()
+        self._lock = threading.RLock()
+        self._entries: OrderedDict[str, _Entry] = OrderedDict()
+        #: Per-model locks serializing the slow load path (one per name ever
+        #: requested — bounded by the directory's inventory).
+        self._load_locks: dict = {}
+
+    # -------------------------------------------------------------- inventory
+    def path_of(self, name: str) -> Path:
+        """The file a model name refers to (suffix appended when missing)."""
+        name = str(name)
+        if not name.endswith(MODEL_SUFFIX):
+            name += MODEL_SUFFIX
+        return self.root / name
+
+    def list_models(self) -> list:
+        """Model names available on disk (sorted, without the suffix)."""
+        return sorted(p.name[: -len(MODEL_SUFFIX)] for p in self.root.glob(f"*{MODEL_SUFFIX}"))
+
+    @property
+    def cached_models(self) -> list:
+        """Names currently held in the cache, LRU first."""
+        with self._lock:
+            return list(self._entries)
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of the cached models' file sizes."""
+        with self._lock:
+            return sum(e.size for e in self._entries.values())
+
+    # ------------------------------------------------------------------ cache
+    def get(self, name: str):
+        """The (hot) model for ``name``; loads or hot-reloads as needed.
+
+        Raises ``FileNotFoundError`` when the file does not exist — a cached
+        copy of a deleted file is *not* served (stale models must not
+        outlive their release), and is dropped from the cache.
+        """
+        from repro.core.synthesizer import NetDPSyn
+
+        path = self.path_of(name)
+        key = path.name[: -len(MODEL_SUFFIX)]
+        fingerprint = self._fingerprint_or_drop(path, key)
+        with self._lock:
+            model = self._cached(key, fingerprint)
+            if model is not None:
+                return model
+            load_lock = self._load_locks.setdefault(key, threading.Lock())
+        # Load outside the registry lock: hits on other models stay
+        # lock-fast; the per-model lock deduplicates concurrent loads.
+        with load_lock:
+            # Re-stat and re-check: another thread may have finished this
+            # load (or the file may have changed again) while we waited.
+            fingerprint = self._fingerprint_or_drop(path, key)
+            with self._lock:
+                model = self._cached(key, fingerprint)
+                if model is not None:
+                    return model
+            model = NetDPSyn.load(path)
+            with self._lock:
+                if key in self._entries:
+                    self.stats.reloads += 1
+                else:
+                    self.stats.misses += 1
+                self._entries[key] = _Entry(
+                    model=model, size=fingerprint[1], mtime_ns=fingerprint[0]
+                )
+                self._entries.move_to_end(key)
+                # The just-inserted entry is never evicted, so `model` stays
+                # cached when this returns.
+                self._evict_over_budget()
+        return model
+
+    def _fingerprint_or_drop(self, path: Path, key: str) -> tuple:
+        """Stat the file; a vanished file drops the cache entry and raises."""
+        try:
+            stat = path.stat()
+        except FileNotFoundError:
+            with self._lock:
+                self._entries.pop(key, None)
+            raise
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def _cached(self, key: str, fingerprint: tuple):
+        """The cached model when it is fresh, else ``None`` (caller loads).
+
+        Must be called with the registry lock held; counts a hit and renews
+        the entry's LRU position.
+        """
+        entry = self._entries.get(key)
+        if entry is not None and entry.fingerprint() == fingerprint:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry.model
+        return None
+
+    def engine(self, name: str, **options) -> QueryEngine:
+        """A :class:`QueryEngine` over model ``name``, cached with it.
+
+        ``options`` pass through to the engine constructor; each distinct
+        option set gets its own cached engine.  Engines are invalidated
+        together with their model (hot reload or eviction), so a served
+        engine never outlives the model file it answers for.
+        """
+        key = self.path_of(name).name[: -len(MODEL_SUFFIX)]
+        options_key = tuple(sorted(options.items()))
+        # Load/refresh WITHOUT holding the registry lock (get() takes the
+        # per-model load lock for slow loads; holding the registry lock here
+        # would deadlock against an in-flight load on another thread).  Hot
+        # reload replaces the entry wholesale, dropping stale engines.
+        model = self.get(name)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.model is not model:
+                # Evicted or reloaded again between get() and here: serve an
+                # uncached engine over the model we were handed — still a
+                # consistent (model, engine) pair.
+                return QueryEngine(model, **options)
+            if options_key not in entry.engines:
+                entry.engines[options_key] = QueryEngine(entry.model, **options)
+            return entry.engines[options_key]
+
+    def evict(self, name: str) -> bool:
+        """Drop one cached model (and its engines); True when it was cached."""
+        key = self.path_of(name).name[: -len(MODEL_SUFFIX)]
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        """Drop every cached model."""
+        with self._lock:
+            self._entries.clear()
+
+    def _evict_over_budget(self) -> None:
+        """Pop LRU entries until the budget holds.
+
+        The most-recently-inserted entry is never evicted: a registry whose
+        budget cannot hold even one model still serves it (the budget then
+        caps the cache at that single entry).
+        """
+        while (
+            len(self._entries) > 1
+            and sum(e.size for e in self._entries.values()) > self.byte_budget
+        ):
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1

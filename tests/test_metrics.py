@@ -96,6 +96,16 @@ class TestNormalizeEmds:
         scaled = normalize_emds({"a": 3.0, "b": 3.0})
         assert scaled["a"] == pytest.approx(0.5)
 
+    def test_constant_dict_no_division_by_zero(self):
+        # lo == hi across the whole dict (vmax - vmin == 0): every value maps
+        # to the band midpoint instead of dividing by the zero range.
+        for value in (0.0, 7.25):
+            scaled = normalize_emds({"a": value, "b": value, "c": value})
+            assert all(np.isfinite(v) for v in scaled.values())
+            assert all(v == pytest.approx(0.5) for v in scaled.values())
+        single = normalize_emds({"only": 2.0}, lo=0.2, hi=0.6)
+        assert single["only"] == pytest.approx(0.4)
+
     def test_empty(self):
         assert normalize_emds({}) == {}
 
@@ -106,6 +116,24 @@ class TestRelativeError:
 
     def test_zero_raw_guarded(self):
         assert relative_error(1.0, 0.0) > 0
+
+    def test_zero_denominator_contract(self):
+        # Aligned zeros are perfect agreement, not 0/0.
+        assert relative_error(0.0, 0.0) == 0.0
+        # A zero raw value against a non-zero synthetic one is the finite
+        # sentinel |syn| / eps (never inf/nan, so means stay finite).
+        assert relative_error(3.0, 0.0) == pytest.approx(3.0e12)
+        assert relative_error(3.0, 0.0, eps=1e-6) == pytest.approx(3.0e6)
+        assert np.isfinite(relative_error(1e9, 0.0))
+        # Sub-eps raw values take the same branch as exact zeros.
+        assert relative_error(0.0, 1e-15) == 0.0
+        assert relative_error(2.0, 1e-15) == pytest.approx(2.0e12)
+
+    def test_mean_relative_error_zero_denominator_contract(self):
+        # Element-wise: [aligned zeros, zero raw vs non-zero syn, regular].
+        got = mean_relative_error([0.0, 2.0, 4.0], [0.0, 0.0, 2.0], eps=1e-6)
+        assert got == pytest.approx((0.0 + 2.0e6 + 1.0) / 3)
+        assert mean_relative_error([0.0, 0.0], [0.0, 0.0]) == 0.0
 
     def test_mean_relative_error(self):
         assert mean_relative_error([2.0, 4.0], [1.0, 2.0]) == pytest.approx(1.0)
