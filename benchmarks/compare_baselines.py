@@ -8,6 +8,7 @@ them against ``benchmarks/baselines/bench-smoke-baseline.json``:
 - synthesis throughput (records/sec, engine + streaming serial baselines);
 - the vectorized-kernel and marginal-phase speedups (ratios, so they are
   robust to runner speed differences);
+- HTTP serving throughput and p50 latency under closed-loop client load;
 - per-benchmark peak RSS.
 
 A gated metric may regress by at most ``--tolerance`` (default 30%) in its
@@ -80,6 +81,23 @@ GATED_RESULT_METRICS = {
         ("measure", "batch_speedup"),
         "higher",
     ),
+    # HTTP serving: what a closed-loop network client gets from the full
+    # stack (transport + wire codecs + micro-batcher).  Throughput and p50
+    # latency are machine-absolute, so both take the wide band; the
+    # batched-vs-unbatched speedup is hard-asserted in the benchmark itself
+    # at full scale only (at smoke scale the window dominates the tiny
+    # per-query work and the ratio is scheduler noise, so it is not gated
+    # here).
+    "serve_http.batched.queries_per_second": (
+        "test_http_serving",
+        ("configs", "batched", "queries_per_second"),
+        "higher",
+    ),
+    "serve_http.batched.p50_ms": (
+        "test_http_serving",
+        ("configs", "batched", "p50_ms"),
+        "lower",
+    ),
 }
 
 #: Absolute-throughput metrics depend on the machine the baseline was pinned
@@ -91,7 +109,11 @@ ABSOLUTE_TOLERANCE_MULTIPLIER = 5 / 3  # 30% -> 50%
 
 
 def _is_absolute(metric: str) -> bool:
-    return metric.endswith("records_per_second") or metric.endswith("queries_per_second")
+    return (
+        metric.endswith("records_per_second")
+        or metric.endswith("queries_per_second")
+        or metric.endswith("_ms")
+    )
 
 #: Every benchmark contributes its harness peak RSS as a lower-is-better gate.
 RSS_METRIC_PREFIX = "peak_rss_bytes."

@@ -17,17 +17,39 @@ Quickstart
 from repro.core import NetDPSyn, SynthesisConfig, synthesize
 from repro.data import FieldKind, FieldSpec, Schema, TraceTable
 from repro.datasets import load_dataset
+from repro.serving import (
+    ModelRegistry,
+    Query,
+    QueryAnswer,
+    QueryEngine,
+    count,
+    histogram,
+    marginal,
+    topk,
+)
 
 __version__ = "1.0.0"
 
+# The serving surface (registry + query algebra) is re-exported at top level
+# so the fit/sample and query tiers read as one API:
+#     from repro import NetDPSyn, ModelRegistry, count, marginal
+# ``tests/test_exports.py`` audits this list — update both together.
 __all__ = [
     "FieldKind",
     "FieldSpec",
+    "ModelRegistry",
     "NetDPSyn",
+    "Query",
+    "QueryAnswer",
+    "QueryEngine",
     "Schema",
     "SynthesisConfig",
     "TraceTable",
+    "count",
+    "histogram",
     "load_dataset",
+    "marginal",
     "synthesize",
+    "topk",
     "__version__",
 ]

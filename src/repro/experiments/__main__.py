@@ -22,6 +22,7 @@ from repro.experiments import (
     engine_scaling,
     fig2_sketch,
     fit_scaling,
+    http_serving,
     serving,
     stream_throughput,
     fig3_classification,
@@ -57,6 +58,7 @@ EXPERIMENTS = {
     "fitscale": lambda s: fit_scaling.run(s),
     "streamscale": lambda s: stream_throughput.run(s),
     "serve": lambda s: serving.run(s),
+    "servehttp": lambda s: http_serving.run(s),
     "ablations": lambda s: {
         "allocation": ablations.run_allocation(s),
         "binning": ablations.run_binning_threshold(s),

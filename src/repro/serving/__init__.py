@@ -2,12 +2,22 @@
 
 The serving layer is the tier users actually hit in a deployed NetDPSyn
 system: a :class:`ModelRegistry` keeps ``.ndpsyn`` model files hot (LRU with
-a byte budget, thread-safe, hot-reload on file change) and a
-:class:`QueryEngine` answers a typed query algebra (:func:`count`,
-:func:`marginal`, :func:`topk`, :func:`histogram`, each with optional
-filters) — preferring exact reads off the published noisy marginals and
-falling back to a bounded-memory cached synthetic sample, with per-answer
-provenance.  See ``docs/serving.md``.
+a byte budget, thread-safe, hot-reload on file change, per-model generation
+counter) and a :class:`QueryEngine` answers a typed query algebra
+(:func:`count`, :func:`marginal`, :func:`topk`, :func:`histogram`, each with
+optional filters) — preferring exact reads off the published noisy marginals
+and falling back to a bounded-memory cached synthetic sample, with
+per-answer provenance.
+
+On top of that sits the network-facing tier: :class:`QueryService`
+(micro-batching window over ``run_batch``, generation-keyed answer cache,
+per-tenant auth/quota), the versioned wire schemas
+(:func:`query_to_wire` / :func:`answer_from_wire`, ``SCHEMA_VERSION``), the
+typed error taxonomy (:class:`ServingError` and friends, each with a
+machine-readable code and an HTTP status), and the stdlib HTTP transport in
+:mod:`repro.serving.http` (``serve-http`` CLI).  See ``docs/serving.md``.
+
+``tests/test_exports.py`` audits ``__all__`` — update both together.
 """
 
 from repro.serving.engine import (
@@ -15,9 +25,18 @@ from repro.serving.engine import (
     QueryEngine,
     bin_labels,
 )
+from repro.serving.errors import (
+    AuthenticationError,
+    ModelNotFound,
+    QueryValidationError,
+    QuotaExceeded,
+    SchemaVersionError,
+    ServingError,
+)
 from repro.serving.queries import (
     PROVENANCE_MARGINAL,
     PROVENANCE_SAMPLE,
+    Prefer,
     Query,
     QueryAnswer,
     answers_equal,
@@ -32,22 +51,59 @@ from repro.serving.registry import (
     ModelRegistry,
     RegistryStats,
 )
+from repro.serving.schemas import (
+    SCHEMA_VERSION,
+    answer_from_wire,
+    answer_to_wire,
+    query_from_wire,
+    query_to_wire,
+)
+from repro.serving.service import (
+    AnswerCache,
+    ApiKeyAuth,
+    MicroBatcher,
+    OpenAccess,
+    QueryService,
+    ServiceConfig,
+    Tenant,
+    TokenBucket,
+)
 
 __all__ = [
+    "AnswerCache",
+    "ApiKeyAuth",
+    "AuthenticationError",
     "DEFAULT_BYTE_BUDGET",
     "DEFAULT_SAMPLE_RECORDS",
     "MODEL_SUFFIX",
+    "MicroBatcher",
+    "ModelNotFound",
     "ModelRegistry",
+    "OpenAccess",
     "PROVENANCE_MARGINAL",
     "PROVENANCE_SAMPLE",
+    "Prefer",
     "Query",
     "QueryAnswer",
     "QueryEngine",
+    "QueryService",
+    "QueryValidationError",
+    "QuotaExceeded",
     "RegistryStats",
+    "SCHEMA_VERSION",
+    "SchemaVersionError",
+    "ServiceConfig",
+    "ServingError",
+    "Tenant",
+    "TokenBucket",
+    "answer_from_wire",
+    "answer_to_wire",
     "answers_equal",
     "bin_labels",
     "count",
     "histogram",
     "marginal",
+    "query_from_wire",
+    "query_to_wire",
     "topk",
 ]

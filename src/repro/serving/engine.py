@@ -36,6 +36,7 @@ from repro.binning.categorical import CategoricalCodec
 from repro.serving.queries import (
     PROVENANCE_MARGINAL,
     PROVENANCE_SAMPLE,
+    Prefer,
     Query,
     QueryAnswer,
 )
@@ -167,13 +168,6 @@ class QueryEngine:
         """Whether the marginal path (no sampling) can answer ``query``."""
         return self.resolve(query)[0] == PROVENANCE_MARGINAL
 
-    @staticmethod
-    def _check_prefer(prefer: str) -> None:
-        if prefer not in ("auto", "marginal", "sample"):
-            raise ValueError(
-                f"prefer must be 'auto', 'marginal', or 'sample', got {prefer!r}"
-            )
-
     # ------------------------------------------------------------ resolution
     def _check_attrs(self, attrs) -> None:
         unknown = [a for a in attrs if a not in self._domain]
@@ -182,7 +176,7 @@ class QueryEngine:
                 f"unknown attribute(s) {unknown}; queryable attributes: {list(self.attrs)}"
             )
 
-    def resolve(self, query: Query, prefer: str = "auto") -> tuple:
+    def resolve(self, query: Query, prefer: str = Prefer.AUTO) -> tuple:
         """``(provenance, source)`` for one query.
 
         ``source`` is the attribute tuple of the smallest published marginal
@@ -192,10 +186,10 @@ class QueryEngine:
         a marginal covers the query (the fidelity suite compares the two);
         ``prefer="marginal"`` raises ``LookupError`` instead of falling back.
         """
-        self._check_prefer(prefer)
+        prefer = Prefer.coerce(prefer)
         needed = query.needed_attrs
         self._check_attrs(needed)
-        if prefer == "sample":
+        if prefer is Prefer.SAMPLE:
             return PROVENANCE_SAMPLE, None
         needed_set = frozenset(needed)
         best = None
@@ -204,12 +198,28 @@ class QueryEngine:
                 best = m
         if best is not None:
             return PROVENANCE_MARGINAL, best.attrs
-        if prefer == "marginal":
+        if prefer is Prefer.MARGINAL:
             raise LookupError(
                 f"no single published marginal covers {needed}; "
                 f"use prefer='auto' to allow the sample path"
             )
         return PROVENANCE_SAMPLE, None
+
+    def validate(self, query: Query, prefer: str = Prefer.AUTO) -> tuple:
+        """:meth:`resolve` plus every kind-specific check execution would hit.
+
+        The serving tier calls this before parking a query in a shared
+        micro-batch: a query that passes ``validate`` cannot raise during
+        batch execution, so one client's bad request can never fail its
+        batch-mates.  Returns the resolved ``(provenance, source)``.
+        """
+        resolved = self.resolve(query, prefer)
+        if query.kind == "histogram" and self._bounds(query.attrs[0]) is None:
+            raise ValueError(
+                f"histogram requires numeric bin bounds, but {query.attrs[0]!r} has "
+                f"none; use marginal() or topk() for categorical attributes"
+            )
+        return resolved
 
     # ----------------------------------------------------------- sample path
     def _sample(self) -> tuple:
@@ -343,13 +353,13 @@ class QueryEngine:
         return QueryAnswer(query=query, value=value, provenance=provenance, source=source)
 
     # -------------------------------------------------------------- execution
-    def run(self, query: Query, prefer: str = "auto") -> QueryAnswer:
+    def run(self, query: Query, prefer: str = Prefer.AUTO) -> QueryAnswer:
         """Answer one query (stateless: the source table is recomputed)."""
         provenance, source = self.resolve(query, prefer)
         joint = self._joint(provenance, source, query.needed_attrs)
         return self._finish(query, joint, provenance, source)
 
-    def run_batch(self, queries, prefer: str = "auto") -> list:
+    def run_batch(self, queries, prefer: str = Prefer.AUTO) -> list:
         """Answer many queries, sharing work within source groups.
 
         Queries resolving to the same ``(provenance, source marginal,

@@ -1,0 +1,262 @@
+"""Stdlib HTTP/JSON transport over :class:`~repro.serving.service.QueryService`.
+
+No third-party dependency: ``http.server.ThreadingHTTPServer`` (one thread
+per connection, HTTP/1.1 keep-alive) dispatches straight into the shared
+thread-safe service — which is exactly the concurrency shape the service's
+micro-batching window exploits: requests arriving on different connection
+threads inside one window ride a single ``run_batch`` execution.
+
+Endpoints (all JSON; errors use the envelope of
+:meth:`~repro.serving.errors.ServingError.to_wire` with the taxonomy's
+status codes — 400 invalid query/body, 401 bad API key, 404 unknown
+model/route, 429 quota, 500 anything else):
+
+- ``GET  /healthz`` — liveness probe.
+- ``GET  /v1/models`` — inventory with per-model generation.
+- ``GET  /v1/models/{name}`` — one model's queryable surface.
+- ``POST /v1/models/{name}/query`` — body ``{"query": {...}, "prefer"?}``;
+  answers with the wire form of one :class:`QueryAnswer`.
+- ``POST /v1/models/{name}/batch`` — body ``{"queries": [...], "prefer"?}``;
+  answers ``{"answers": [...]}`` in input order.
+- ``GET  /v1/stats`` — cache/batcher/registry counters.
+
+Authentication is the ``X-Api-Key`` header (ignored by the default open
+authenticator).  The CLI entry point (``serve-http`` console script, or
+``python -m repro.serving.http``) serves a directory of ``.ndpsyn`` files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serving.errors import (
+    ModelNotFound,
+    QueryValidationError,
+    ServingError,
+    error_from_exception,
+)
+from repro.serving.queries import Prefer
+from repro.serving.registry import ModelRegistry
+from repro.serving.service import ApiKeyAuth, QueryService, ServiceConfig, Tenant
+
+#: Request bodies above this size are rejected before parsing (a batch of
+#: thousands of queries fits comfortably; this is an abuse guard, not a
+#: functional limit).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+API_KEY_HEADER = "X-Api-Key"
+
+
+class ServingHTTPServer(ThreadingHTTPServer):
+    """A ``ThreadingHTTPServer`` owning the shared :class:`QueryService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: QueryService) -> None:
+        super().__init__(address, ServingRequestHandler)
+        self.service = service
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class ServingRequestHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"  # keep-alive: one connection, many queries
+    server_version = "repro-serving/1"
+    # One buffered write per response + TCP_NODELAY: the stdlib default
+    # (unbuffered header write, then a body write, Nagle on) interacts with
+    # the client's delayed ACK into ~40 ms stalls per request on Linux.
+    wbufsize = -1
+    disable_nagle_algorithm = True
+
+    # ------------------------------------------------------------------ verbs
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler naming
+        self._dispatch("POST")
+
+    def log_message(self, format, *args) -> None:  # noqa: A002 - stdlib shape
+        pass  # per-request stderr logging would swamp benchmark runs
+
+    # -------------------------------------------------------------- dispatch
+    def _dispatch(self, method: str) -> None:
+        try:
+            status, payload = self._route(method)
+        except ServingError as exc:
+            status, payload = exc.http_status, exc.to_wire()
+            self._respond(status, payload, retry_after=getattr(exc, "retry_after", None))
+            return
+        except Exception as exc:  # pragma: no cover - handler bug guard
+            wrapped = error_from_exception(exc)
+            self._respond(wrapped.http_status, wrapped.to_wire())
+            return
+        self._respond(status, payload)
+
+    def _route(self, method: str) -> tuple:
+        service = self.server.service
+        path = self.path.split("?", 1)[0].rstrip("/")
+        parts = [p for p in path.split("/") if p]
+        if method == "GET":
+            if parts == ["healthz"]:
+                return 200, {"status": "ok"}
+            if parts == ["v1", "models"]:
+                return 200, service.models()
+            if parts == ["v1", "stats"]:
+                return 200, service.stats()
+            if len(parts) == 3 and parts[:2] == ["v1", "models"]:
+                return 200, service.model_info(parts[2])
+        elif method == "POST" and len(parts) == 4 and parts[:2] == ["v1", "models"]:
+            name, action = parts[2], parts[3]
+            api_key = self.headers.get(API_KEY_HEADER)
+            body = self._read_json()
+            if action == "query":
+                return 200, service.handle_query(name, body, api_key=api_key)
+            if action == "batch":
+                return 200, service.handle_query_batch(name, body, api_key=api_key)
+        raise ModelNotFound(f"no route for {method} {path!r}")
+
+    def _read_json(self) -> dict:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            raise QueryValidationError("missing or invalid Content-Length") from None
+        if length <= 0:
+            raise QueryValidationError("request body required")
+        if length > MAX_BODY_BYTES:
+            raise QueryValidationError(
+                f"request body of {length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise QueryValidationError(f"request body is not valid JSON: {exc}") from None
+
+    def _respond(self, status: int, payload: dict, retry_after=None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", f"{max(retry_after, 0.001):.3f}")
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+            self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # client went away mid-response; nothing to salvage
+
+
+# ------------------------------------------------------------------- running
+def make_server(
+    service: QueryService, host: str = "127.0.0.1", port: int = 0
+) -> ServingHTTPServer:
+    """Bind (``port=0`` = ephemeral) without starting the serve loop."""
+    return ServingHTTPServer((host, port), service)
+
+
+def serve_in_thread(service: QueryService, host: str = "127.0.0.1", port: int = 0):
+    """Start a daemonized server; returns ``(server, thread)``.
+
+    The benchmark and tests use this; call ``server.shutdown()`` then
+    ``server.server_close()`` to stop.
+    """
+    server = make_server(service, host, port)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread
+
+
+def _parse_tenant(spec: str) -> Tenant:
+    """``name:key[:rate[:burst]]`` CLI tenant spec -> :class:`Tenant`."""
+    fields = spec.split(":")
+    if len(fields) < 2 or not fields[0] or not fields[1]:
+        raise argparse.ArgumentTypeError(
+            f"tenant spec {spec!r} is not name:key[:rate[:burst]]"
+        )
+    try:
+        rate = float(fields[2]) if len(fields) > 2 else None
+        burst = float(fields[3]) if len(fields) > 3 else None
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad rate/burst in tenant spec {spec!r}") from None
+    return Tenant(name=fields[0], api_key=fields[1], rate=rate, burst=burst)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="serve-http",
+        description="Serve DP queries over a directory of .ndpsyn models.",
+    )
+    parser.add_argument("root", help="directory of .ndpsyn model files")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument(
+        "--window-ms",
+        type=float,
+        default=4.0,
+        help="micro-batching collection window (0 disables batching)",
+    )
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--no-cache", action="store_true", help="disable the answer cache")
+    parser.add_argument("--cache-entries", type=int, default=10_000)
+    parser.add_argument(
+        "--prefer",
+        default=str(Prefer.AUTO),
+        type=Prefer.coerce,
+        help="default execution path for requests that do not specify one",
+    )
+    parser.add_argument(
+        "--sample-records",
+        type=int,
+        default=None,
+        help="size of each engine's fallback sample cache",
+    )
+    parser.add_argument(
+        "--tenant",
+        action="append",
+        default=[],
+        type=_parse_tenant,
+        metavar="NAME:KEY[:RATE[:BURST]]",
+        help="require API keys; repeatable (rate = requests/sec, empty = unlimited)",
+    )
+    args = parser.parse_args(argv)
+
+    engine_options = {}
+    if args.sample_records is not None:
+        engine_options["sample_records"] = args.sample_records
+    config = ServiceConfig(
+        batch_window=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        cache_answers=not args.no_cache,
+        cache_entries=args.cache_entries,
+        default_prefer=args.prefer,
+        engine_options=engine_options,
+    )
+    authenticator = ApiKeyAuth(args.tenant) if args.tenant else None
+    registry = ModelRegistry(args.root)
+    service = QueryService(registry, config, authenticator=authenticator)
+    server = make_server(service, args.host, args.port)
+    models = registry.list_models()
+    print(f"serving {len(models)} model(s) {models} from {args.root} at {server.url}")
+    print(
+        f"micro-batch window {args.window_ms:g} ms, cache "
+        f"{'off' if args.no_cache else f'{args.cache_entries} entries'}, "
+        f"auth {'api-key' if args.tenant else 'open'}"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,13 +16,51 @@ never resolve anything finer than a bin.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
+
+from repro.serving.errors import QueryValidationError
 
 #: Provenance values a :class:`QueryAnswer` may carry.
 PROVENANCE_MARGINAL = "marginal"
 PROVENANCE_SAMPLE = "sample"
 
 QUERY_KINDS = ("count", "marginal", "topk", "histogram")
+
+
+class Prefer(str, enum.Enum):
+    """Which execution path may answer a query.
+
+    Str-valued so every pre-enum call site (``prefer="sample"``) keeps
+    working: ``Prefer.SAMPLE == "sample"`` is true, and :meth:`coerce` is the
+    one place a ``prefer`` value is validated — the engine, the batch path,
+    the wire schemas, and the CLI all normalize through it.
+
+    - ``AUTO`` — marginal path when a single published marginal covers the
+      query, sample path otherwise (the default).
+    - ``MARGINAL`` — marginal path only; raise instead of falling back.
+    - ``SAMPLE`` — force the cached-synthetic-sample path.
+    """
+
+    AUTO = "auto"
+    MARGINAL = "marginal"
+    SAMPLE = "sample"
+
+    @classmethod
+    def coerce(cls, value) -> "Prefer":
+        """Normalize a ``prefer`` argument; the single validation point."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            choices = ", ".join(repr(p.value) for p in cls)
+            raise QueryValidationError(
+                f"prefer must be one of {choices}, got {value!r}"
+            ) from None
+
+    def __str__(self) -> str:  # "auto", not "Prefer.AUTO" (wire + CLI forms)
+        return self.value
 
 
 def _freeze_where(where) -> tuple:

@@ -61,6 +61,8 @@ class _Entry:
     model: object
     size: int
     mtime_ns: int
+    #: Monotonic per-model load counter (see :meth:`ModelRegistry.generation`).
+    generation: int = 1
     #: Engine cache: options-key -> QueryEngine, dropped on reload/eviction.
     engines: dict = field(default_factory=dict)
 
@@ -87,6 +89,10 @@ class ModelRegistry:
         #: Per-model locks serializing the slow load path (one per name ever
         #: requested — bounded by the directory's inventory).
         self._load_locks: dict = {}
+        #: key -> number of loads ever performed for that model.  Never reset
+        #: (not even by eviction or deletion), so ``(key, generation)`` is a
+        #: correct invalidation key for any external cache built on answers.
+        self._generations: dict = {}
 
     # -------------------------------------------------------------- inventory
     def path_of(self, name: str) -> Path:
@@ -95,6 +101,10 @@ class ModelRegistry:
         if not name.endswith(MODEL_SUFFIX):
             name += MODEL_SUFFIX
         return self.root / name
+
+    def key_of(self, name: str) -> str:
+        """The canonical cache key of a model name (suffix stripped)."""
+        return self.path_of(name).name[: -len(MODEL_SUFFIX)]
 
     def list_models(self) -> list:
         """Model names available on disk (sorted, without the suffix)."""
@@ -123,7 +133,7 @@ class ModelRegistry:
         from repro.core.synthesizer import NetDPSyn
 
         path = self.path_of(name)
-        key = path.name[: -len(MODEL_SUFFIX)]
+        key = self.key_of(name)
         fingerprint = self._fingerprint_or_drop(path, key)
         with self._lock:
             model = self._cached(key, fingerprint)
@@ -146,8 +156,13 @@ class ModelRegistry:
                     self.stats.reloads += 1
                 else:
                     self.stats.misses += 1
+                generation = self._generations.get(key, 0) + 1
+                self._generations[key] = generation
                 self._entries[key] = _Entry(
-                    model=model, size=fingerprint[1], mtime_ns=fingerprint[0]
+                    model=model,
+                    size=fingerprint[1],
+                    mtime_ns=fingerprint[0],
+                    generation=generation,
                 )
                 self._entries.move_to_end(key)
                 # The just-inserted entry is never evicted, so `model` stays
@@ -178,15 +193,31 @@ class ModelRegistry:
             return entry.model
         return None
 
-    def engine(self, name: str, **options) -> QueryEngine:
-        """A :class:`QueryEngine` over model ``name``, cached with it.
+    def generation(self, name: str) -> int:
+        """The monotonic load counter for model ``name`` (0 = never loaded).
 
-        ``options`` pass through to the engine constructor; each distinct
-        option set gets its own cached engine.  Engines are invalidated
-        together with their model (hot reload or eviction), so a served
-        engine never outlives the model file it answers for.
+        Increments on every (re)load — cold load, hot reload after an mtime
+        or size change — and never resets, even across eviction or deletion.
+        External answer caches key on ``(name, generation)``: a bumped
+        generation is the invalidation signal that the model behind a name
+        changed.  (The internal mtime/size fingerprint stays what *detects*
+        the change; the generation is the stable number caches can hold.)
         """
-        key = self.path_of(name).name[: -len(MODEL_SUFFIX)]
+        key = self.key_of(name)
+        with self._lock:
+            return self._generations.get(key, 0)
+
+    def lease(self, name: str, **options) -> tuple:
+        """``(engine, generation)`` for model ``name``, read atomically.
+
+        The generation is the one of the exact entry the engine answers
+        for — callers caching answers use it as their invalidation key.  In
+        the rare race where the model was reloaded or evicted between the
+        load and the cache read, the engine is served uncached over the
+        model just loaded and the generation is ``None`` (meaning: do not
+        cache answers from this lease; the next request re-resolves).
+        """
+        key = self.key_of(name)
         options_key = tuple(sorted(options.items()))
         # Load/refresh WITHOUT holding the registry lock (get() takes the
         # per-model load lock for slow loads; holding the registry lock here
@@ -199,14 +230,24 @@ class ModelRegistry:
                 # Evicted or reloaded again between get() and here: serve an
                 # uncached engine over the model we were handed — still a
                 # consistent (model, engine) pair.
-                return QueryEngine(model, **options)
+                return QueryEngine(model, **options), None
             if options_key not in entry.engines:
                 entry.engines[options_key] = QueryEngine(entry.model, **options)
-            return entry.engines[options_key]
+            return entry.engines[options_key], entry.generation
+
+    def engine(self, name: str, **options) -> QueryEngine:
+        """A :class:`QueryEngine` over model ``name``, cached with it.
+
+        ``options`` pass through to the engine constructor; each distinct
+        option set gets its own cached engine.  Engines are invalidated
+        together with their model (hot reload or eviction), so a served
+        engine never outlives the model file it answers for.
+        """
+        return self.lease(name, **options)[0]
 
     def evict(self, name: str) -> bool:
         """Drop one cached model (and its engines); True when it was cached."""
-        key = self.path_of(name).name[: -len(MODEL_SUFFIX)]
+        key = self.key_of(name)
         with self._lock:
             return self._entries.pop(key, None) is not None
 

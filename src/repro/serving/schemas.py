@@ -1,0 +1,225 @@
+"""Versioned wire forms of the query algebra (the serving API's contract).
+
+Every :class:`~repro.serving.queries.Query` and
+:class:`~repro.serving.queries.QueryAnswer` has a stable JSON form produced
+by :func:`query_to_wire` / :func:`answer_to_wire` and parsed back by
+:func:`query_from_wire` / :func:`answer_from_wire`.  The forms carry an
+explicit ``schema_version`` (:data:`SCHEMA_VERSION`); readers accept a
+missing version (treated as current) so hand-written curl payloads stay
+ergonomic, but reject any version they cannot speak — adding a field is a
+compatible change, renaming or re-shaping one requires a version bump.
+
+Round-trip guarantees, pinned by ``tests/test_schemas.py``:
+
+- ``query_from_wire(query_to_wire(q)) == q`` for every valid query — the
+  wire form survives JSON serialization because filter values are restricted
+  to JSON scalars (str/int/float/bool);
+- ``answer_from_wire(answer_to_wire(a))`` is bit-identical to ``a`` under
+  :func:`~repro.serving.queries.answers_equal` — ndarrays travel as nested
+  lists of Python floats, which ``json`` round-trips exactly (shortest-repr
+  floats), and come back as ``float64`` arrays.
+
+Parsing is strict: unknown top-level keys are rejected (typos must fail
+loudly, not silently change meaning) with a
+:class:`~repro.serving.errors.QueryValidationError` whose ``code`` clients
+can branch on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serving.errors import QueryValidationError, SchemaVersionError
+from repro.serving.queries import (
+    QUERY_KINDS,
+    Prefer,
+    Query,
+    QueryAnswer,
+    count,
+    histogram,
+    marginal,
+    topk,
+)
+
+#: Current wire schema version.  Bump ONLY on incompatible re-shapes; the
+#: golden fixtures in ``tests/data/wire_golden_v1.json`` pin version 1.
+SCHEMA_VERSION = 1
+
+#: JSON scalar types a filter value may take on the wire.
+_WIRE_SCALARS = (str, int, float, bool)
+
+_QUERY_KEYS = frozenset({"schema_version", "kind", "attrs", "k", "bins", "where"})
+_ANSWER_KEYS = frozenset({"schema_version", "query", "provenance", "source", "value"})
+
+
+def check_schema_version(payload: dict, context: str) -> None:
+    """Validate a payload's declared ``schema_version`` (missing = current)."""
+    version = payload.get("schema_version", SCHEMA_VERSION)
+    if version != SCHEMA_VERSION:
+        raise SchemaVersionError(
+            f"{context} declares schema_version {version!r}; "
+            f"this server speaks version {SCHEMA_VERSION}"
+        )
+
+
+def _check_keys(payload, allowed: frozenset, context: str) -> None:
+    if not isinstance(payload, dict):
+        raise QueryValidationError(
+            f"{context} must be a JSON object, got {type(payload).__name__}"
+        )
+    unknown = sorted(set(payload) - allowed)
+    if unknown:
+        raise QueryValidationError(
+            f"{context} has unknown field(s) {unknown}; allowed: {sorted(allowed)}"
+        )
+
+
+def _wire_where(frozen_where: tuple) -> dict:
+    """The frozen ``((attr, (v, ...)), ...)`` filter as a JSON object."""
+    return {attr: list(values) for attr, values in frozen_where}
+
+
+def _parse_where(payload, context: str) -> dict:
+    if not isinstance(payload, dict):
+        raise QueryValidationError(f"{context}.where must be an object mapping attr -> value(s)")
+    where = {}
+    for attr, values in payload.items():
+        flat = values if isinstance(values, list) else [values]
+        bad = [v for v in flat if not isinstance(v, _WIRE_SCALARS)]
+        if bad:
+            raise QueryValidationError(
+                f"{context}.where[{attr!r}] values must be JSON scalars, got {bad!r}"
+            )
+        where[attr] = flat
+    return where
+
+
+# ---------------------------------------------------------------------- query
+def query_to_wire(query: Query) -> dict:
+    """The stable JSON form of one query.
+
+    Kind-irrelevant fields are omitted (``k`` only on topk, ``bins`` only on
+    histogram, ``attrs``/``where`` only when non-empty) so the form is
+    minimal and the golden fixtures stay readable.
+    """
+    payload: dict = {"schema_version": SCHEMA_VERSION, "kind": query.kind}
+    if query.attrs:
+        payload["attrs"] = list(query.attrs)
+    if query.kind == "topk":
+        payload["k"] = query.k
+    if query.kind == "histogram":
+        payload["bins"] = query.bins
+    if query.where:
+        payload["where"] = _wire_where(query.where)
+    return payload
+
+
+def query_from_wire(payload: dict) -> Query:
+    """Parse (and validate) one wire query back into a :class:`Query`."""
+    _check_keys(payload, _QUERY_KEYS, "query")
+    check_schema_version(payload, "query")
+    kind = payload.get("kind")
+    if kind not in QUERY_KINDS:
+        raise QueryValidationError(
+            f"query.kind must be one of {list(QUERY_KINDS)}, got {kind!r}"
+        )
+    attrs = payload.get("attrs", [])
+    if not isinstance(attrs, list) or not all(isinstance(a, str) for a in attrs):
+        raise QueryValidationError("query.attrs must be a list of attribute names")
+    where = _parse_where(payload.get("where", {}), "query")
+    kwargs: dict = {}
+    for field, kinds in (("k", ("topk",)), ("bins", ("histogram",))):
+        if field in payload:
+            if kind not in kinds:
+                raise QueryValidationError(f"query.{field} only applies to {kinds[0]} queries")
+            value = payload[field]
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise QueryValidationError(f"query.{field} must be an integer, got {value!r}")
+            kwargs[field] = value
+    try:
+        if kind == "count":
+            if attrs:
+                raise QueryValidationError("count queries take no attrs, only a filter")
+            return count(where=where)
+        if kind == "marginal":
+            return marginal(*attrs, where=where)
+        if len(attrs) != 1:
+            raise QueryValidationError(f"{kind} queries target exactly one attribute")
+        if kind == "topk":
+            return topk(attrs[0], where=where, **kwargs)
+        return histogram(attrs[0], where=where, **kwargs)
+    except QueryValidationError:
+        raise
+    except (ValueError, TypeError) as exc:  # Query.__post_init__ rejections
+        raise QueryValidationError(str(exc)) from None
+
+
+def prefer_from_wire(payload: dict) -> Prefer:
+    """The optional ``prefer`` field of a request envelope (default AUTO)."""
+    return Prefer.coerce(payload.get("prefer", Prefer.AUTO))
+
+
+# --------------------------------------------------------------------- answer
+def _value_to_wire(query: Query, value) -> object:
+    if query.kind == "count":
+        return float(value)
+    if query.kind == "marginal":
+        return np.asarray(value).tolist()
+    if query.kind == "topk":
+        return [
+            {"bin": int(row["bin"]), "label": row["label"], "count": float(row["count"])}
+            for row in value
+        ]
+    return {  # histogram
+        "edges": np.asarray(value["edges"]).tolist(),
+        "counts": np.asarray(value["counts"]).tolist(),
+    }
+
+
+def _value_from_wire(query: Query, value) -> object:
+    try:
+        if query.kind == "count":
+            return float(value)
+        if query.kind == "marginal":
+            return np.asarray(value, dtype=np.float64)
+        if query.kind == "topk":
+            return [
+                {"bin": int(row["bin"]), "label": str(row["label"]), "count": float(row["count"])}
+                for row in value
+            ]
+        return {
+            "edges": np.asarray(value["edges"], dtype=np.float64),
+            "counts": np.asarray(value["counts"], dtype=np.float64),
+        }
+    except (TypeError, ValueError, KeyError) as exc:
+        raise QueryValidationError(
+            f"answer.value is not a valid {query.kind} payload: {exc}"
+        ) from None
+
+
+def answer_to_wire(answer: QueryAnswer) -> dict:
+    """The stable JSON form of one answer (bit-exact across the wire)."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "query": query_to_wire(answer.query),
+        "provenance": answer.provenance,
+        "source": list(answer.source) if answer.source is not None else None,
+        "value": _value_to_wire(answer.query, answer.value),
+    }
+
+
+def answer_from_wire(payload: dict) -> QueryAnswer:
+    """Parse one wire answer back into a :class:`QueryAnswer`."""
+    _check_keys(payload, _ANSWER_KEYS, "answer")
+    check_schema_version(payload, "answer")
+    for field in ("query", "provenance", "value"):
+        if field not in payload:
+            raise QueryValidationError(f"answer is missing required field {field!r}")
+    query = query_from_wire(payload["query"])
+    source = payload.get("source")
+    return QueryAnswer(
+        query=query,
+        value=_value_from_wire(query, payload["value"]),
+        provenance=payload["provenance"],
+        source=tuple(source) if source is not None else None,
+    )

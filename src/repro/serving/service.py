@@ -1,0 +1,545 @@
+"""QueryService: the transport-agnostic core of the network-facing DP tier.
+
+:class:`QueryService` sits between a wire layer (:mod:`repro.serving.http`,
+or any future transport) and the :class:`~repro.serving.registry.ModelRegistry`,
+and owns the three behaviors that make a multi-client deployment fast and
+safe:
+
+**Micro-batching** — concurrent in-flight requests for the same
+``(model, generation, prefer)`` are collected for a short window
+(:attr:`ServiceConfig.batch_window`, a few milliseconds) and fed through
+:meth:`~repro.serving.engine.QueryEngine.run_batch` as ONE grouped
+execution, answers fanned back out to their callers.  ``run_batch`` is
+bit-identical to serial ``run()``, so batching is invisible except for
+throughput: the first request of a quiet period pays the window once, and
+every request that lands inside it rides the grouped numpy work for free.
+A window of ``0`` disables batching (each request runs serially) — that is
+the baseline configuration the benchmark compares against.
+
+**Answer caching** — answers are memoized under
+``(model key, model generation, prefer, query)``.  Queries are frozen
+hashable value objects and answering is deterministic post-processing, so a
+cache hit is bit-identical to recomputation.  The *generation* component is
+the invalidation contract: :meth:`ModelRegistry.generation` bumps whenever
+the model file changes on disk (hot reload), so stale answers can never be
+served after a re-deploy — no explicit flush needed, old-generation entries
+simply age out of the LRU.
+
+**Auth + quota hooks** — every request resolves an API key to a
+:class:`Tenant` through a pluggable authenticator (default:
+:class:`OpenAccess`, every caller is the anonymous unlimited tenant) and
+charges a per-tenant token bucket; an empty bucket raises
+:class:`~repro.serving.errors.QuotaExceeded` with a ``retry_after`` hint.
+
+Everything here raises the typed taxonomy of :mod:`repro.serving.errors`;
+the wire layer maps those to HTTP statuses mechanically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.serving.errors import (
+    AuthenticationError,
+    ModelNotFound,
+    QuotaExceeded,
+    error_from_exception,
+)
+from repro.serving.queries import Prefer, Query, QueryAnswer
+from repro.serving.registry import ModelRegistry
+from repro.serving.schemas import (
+    SCHEMA_VERSION,
+    answer_to_wire,
+    prefer_from_wire,
+    query_from_wire,
+)
+
+
+# ------------------------------------------------------------------ tenancy
+@dataclass(frozen=True)
+class Tenant:
+    """One serving tenant: a name plus an optional requests/sec budget.
+
+    ``rate=None`` means unlimited.  ``burst`` is the token bucket's
+    capacity — how many requests may land back-to-back before the rate
+    limit bites (defaults to one second's worth, floored at 1).
+    """
+
+    name: str
+    api_key: str | None = None
+    rate: float | None = None
+    burst: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+        if self.burst is not None and self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+
+
+#: The tenant every request maps to under the default open authenticator.
+ANONYMOUS = Tenant(name="anonymous")
+
+
+class TokenBucket:
+    """Classic token bucket; thread-safe; monotonic-clock based.
+
+    ``take(cost)`` returns ``0.0`` when granted, else the seconds until
+    ``cost`` tokens will have refilled (the ``Retry-After`` hint).
+    """
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def take(self, cost: float = 1.0) -> float:
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(self.burst, self._tokens + (now - self._stamp) * self.rate)
+            self._stamp = now
+            if self._tokens >= cost:
+                self._tokens -= cost
+                return 0.0
+            return (cost - self._tokens) / self.rate
+
+
+class OpenAccess:
+    """Default authenticator: every caller (keyed or not) is anonymous."""
+
+    def authenticate(self, api_key: str | None) -> Tenant:
+        return ANONYMOUS
+
+
+class ApiKeyAuth:
+    """Closed deployment: a static API-key -> :class:`Tenant` table.
+
+    ``allow_anonymous`` optionally admits key-less requests as the
+    unlimited anonymous tenant (useful for health probes behind a proxy).
+    """
+
+    def __init__(self, tenants, allow_anonymous: bool = False) -> None:
+        self._by_key: dict = {}
+        for tenant in tenants:
+            if tenant.api_key is None:
+                raise ValueError(f"tenant {tenant.name!r} has no api_key")
+            if tenant.api_key in self._by_key:
+                raise ValueError(f"duplicate api_key for tenant {tenant.name!r}")
+            self._by_key[tenant.api_key] = tenant
+        self.allow_anonymous = allow_anonymous
+
+    def authenticate(self, api_key: str | None) -> Tenant:
+        if api_key is None:
+            if self.allow_anonymous:
+                return ANONYMOUS
+            raise AuthenticationError("missing API key (send the X-Api-Key header)")
+        tenant = self._by_key.get(api_key)
+        if tenant is None:
+            raise AuthenticationError("unknown API key")
+        return tenant
+
+
+# ------------------------------------------------------------- answer cache
+class AnswerCache:
+    """Bounded thread-safe LRU of ``(model key, generation, prefer, query)``
+    -> :class:`QueryAnswer`.
+
+    Determinism makes hits bit-identical to recomputation; the generation
+    in the key makes hot-reload invalidation automatic (a reloaded model
+    leases a bumped generation, so its requests key past every stale
+    entry — which then age out of the LRU normally).
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key) -> QueryAnswer | None:
+        with self._lock:
+            answer = self._entries.get(key)
+            if answer is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return answer
+
+    def put(self, key, answer: QueryAnswer) -> None:
+        with self._lock:
+            self._entries[key] = answer
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+# ------------------------------------------------------------ micro-batching
+class _Pending:
+    """One in-flight request parked in a batch group."""
+
+    __slots__ = ("query", "event", "answer", "error")
+
+    def __init__(self, query: Query) -> None:
+        self.query = query
+        self.event = threading.Event()
+        self.answer: QueryAnswer | None = None
+        self.error: BaseException | None = None
+
+
+class _Group:
+    """The pending queue of one ``(model key, generation, prefer)`` stream."""
+
+    __slots__ = ("engine", "prefer", "queue", "active")
+
+    def __init__(self, engine, prefer: Prefer) -> None:
+        self.engine = engine
+        self.prefer = prefer
+        self.queue: list = []
+        self.active = False
+
+
+class MicroBatcher:
+    """Collects concurrent requests into :meth:`QueryEngine.run_batch` calls.
+
+    The first request of a quiet period becomes the group's *leader*: it
+    sleeps for the window (collecting whoever else arrives), then drains the
+    queue through ``run_batch`` in ``max_batch``-sized slices — including
+    requests that landed *while* it was executing, so under sustained load
+    follow-up batches form with no additional window latency.  Followers
+    just park on an event and wake with their answer.  One global lock
+    guards all group queues; the work under it is list appends only.
+    """
+
+    def __init__(self, window: float, max_batch: int) -> None:
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.window = float(window)
+        self.max_batch = int(max_batch)
+        self._lock = threading.Lock()
+        self._groups: dict = {}
+        self.batches = 0
+        self.batched_queries = 0
+        self.largest_batch = 0
+
+    def submit(self, key, engine, prefer: Prefer, query: Query) -> QueryAnswer:
+        pending = _Pending(query)
+        with self._lock:
+            group = self._groups.get(key)
+            if group is None:
+                group = _Group(engine, prefer)
+                self._groups[key] = group
+            group.queue.append(pending)
+            lead = not group.active
+            if lead:
+                group.active = True
+        if lead:
+            if self.window > 0:
+                time.sleep(self.window)
+            self._drain(key, group)
+        else:
+            pending.event.wait()
+        if pending.error is not None:
+            raise pending.error
+        return pending.answer
+
+    def _drain(self, key, group: _Group) -> None:
+        while True:
+            with self._lock:
+                batch = group.queue[: self.max_batch]
+                del group.queue[: self.max_batch]
+                if not batch:
+                    group.active = False
+                    # Retire the idle group; generations churn on hot reload
+                    # and dead (key, generation) groups must not accumulate.
+                    if self._groups.get(key) is group:
+                        del self._groups[key]
+                    return
+            self._execute(group, batch)
+
+    def _execute(self, group: _Group, batch: list) -> None:
+        try:
+            answers = group.engine.run_batch(
+                [p.query for p in batch], prefer=group.prefer
+            )
+        except BaseException as exc:  # pragma: no cover - defended upstream
+            # Queries are pre-resolved before enqueueing, so per-query
+            # validation errors cannot land here; anything that does is a
+            # server-side failure shared by the whole batch.
+            for pending in batch:
+                pending.error = exc
+                pending.event.set()
+            return
+        with self._lock:
+            self.batches += 1
+            self.batched_queries += len(batch)
+            self.largest_batch = max(self.largest_batch, len(batch))
+        for pending, answer in zip(batch, answers):
+            pending.answer = answer
+            pending.event.set()
+
+    def stats(self) -> dict:
+        with self._lock:
+            mean = self.batched_queries / self.batches if self.batches else 0.0
+            return {
+                "window_seconds": self.window,
+                "max_batch": self.max_batch,
+                "batches": self.batches,
+                "batched_queries": self.batched_queries,
+                "mean_batch_size": round(mean, 3),
+                "largest_batch": self.largest_batch,
+            }
+
+
+# ------------------------------------------------------------------- service
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of one :class:`QueryService`.
+
+    ``batch_window`` is the micro-batching collection window in seconds
+    (``0`` disables batching); 2–10 ms is the useful range — long enough
+    that concurrent clients land in one batch, short enough to be invisible
+    next to network latency.  ``engine_options`` pass through to every
+    leased :class:`~repro.serving.engine.QueryEngine` (e.g.
+    ``{"sample_records": 200_000}``).
+    """
+
+    batch_window: float = 0.004
+    max_batch: int = 64
+    cache_answers: bool = True
+    cache_entries: int = 10_000
+    default_prefer: Prefer = Prefer.AUTO
+    engine_options: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.batch_window < 0:
+            raise ValueError(f"batch_window must be >= 0, got {self.batch_window}")
+        object.__setattr__(self, "default_prefer", Prefer.coerce(self.default_prefer))
+
+
+class QueryService:
+    """Answer wire-level DP queries over a :class:`ModelRegistry`.
+
+    The typed entry points (:meth:`query`, :meth:`query_batch`) speak
+    :class:`Query`/:class:`QueryAnswer`; the ``handle_*`` methods speak wire
+    dicts and are what a transport binds to.  All methods are thread-safe —
+    the HTTP layer calls straight into one shared service from its
+    connection threads.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        config: ServiceConfig | None = None,
+        authenticator=None,
+    ) -> None:
+        if not isinstance(registry, ModelRegistry):
+            registry = ModelRegistry(registry)
+        self.registry = registry
+        self.config = config or ServiceConfig()
+        self.authenticator = authenticator or OpenAccess()
+        self.cache = AnswerCache(self.config.cache_entries)
+        self.batcher = MicroBatcher(self.config.batch_window, self.config.max_batch)
+        self._buckets: dict = {}
+        self._buckets_lock = threading.Lock()
+        self._requests = 0
+        self._started = time.time()
+
+    # -------------------------------------------------------------- plumbing
+    def _authorize(self, api_key: str | None, cost: float = 1.0) -> Tenant:
+        tenant = self.authenticator.authenticate(api_key)
+        if tenant.rate is not None:
+            with self._buckets_lock:
+                bucket = self._buckets.get(tenant.name)
+                if bucket is None:
+                    burst = tenant.burst if tenant.burst is not None else max(1.0, tenant.rate)
+                    bucket = TokenBucket(tenant.rate, burst)
+                    self._buckets[tenant.name] = bucket
+            retry_after = bucket.take(cost)
+            if retry_after > 0:
+                raise QuotaExceeded(
+                    f"tenant {tenant.name!r} is over its {tenant.rate:g} req/s quota",
+                    retry_after=retry_after,
+                )
+        with self._buckets_lock:
+            self._requests += 1
+        return tenant
+
+    def _lease(self, model: str):
+        """``(engine, cache-key prefix)`` for one model; typed errors."""
+        try:
+            engine, generation = self.registry.lease(model, **self.config.engine_options)
+        except FileNotFoundError:
+            available = self.registry.list_models()
+            raise ModelNotFound(
+                f"model {model!r} not found; available: {available}"
+            ) from None
+        key = self.registry.key_of(model)
+        return engine, (key, generation)
+
+    # --------------------------------------------------------------- queries
+    def query(
+        self,
+        model: str,
+        query: Query,
+        prefer=None,
+        api_key: str | None = None,
+    ) -> QueryAnswer:
+        """Answer one query: auth -> cache -> (micro-batched) execution."""
+        self._authorize(api_key)
+        prefer = Prefer.coerce(prefer if prefer is not None else self.config.default_prefer)
+        engine, (model_key, generation) = self._lease(model)
+        cacheable = self.config.cache_answers and generation is not None
+        cache_key = (model_key, generation, prefer, query)
+        if cacheable:
+            hit = self.cache.get(cache_key)
+            if hit is not None:
+                return hit
+        # Validate up front: failures (unknown attrs, uncovered
+        # prefer="marginal", categorical histogram) surface on the calling
+        # request, never inside a shared batch.
+        try:
+            engine.validate(query, prefer)
+        except (KeyError, LookupError, ValueError) as exc:
+            raise error_from_exception(exc) from None
+        if self.batcher.window > 0:
+            answer = self.batcher.submit(
+                (model_key, generation, prefer), engine, prefer, query
+            )
+        else:
+            answer = engine.run(query, prefer=prefer)
+        if cacheable:
+            self.cache.put(cache_key, answer)
+        return answer
+
+    def query_batch(
+        self,
+        model: str,
+        queries,
+        prefer=None,
+        api_key: str | None = None,
+    ) -> list:
+        """Answer a client-assembled batch in one grouped execution.
+
+        Charged as ``len(queries)`` requests against the tenant's quota.
+        Cached answers are reused; only the misses run (in one
+        ``run_batch``), and their answers backfill the cache.
+        """
+        queries = list(queries)
+        self._authorize(api_key, cost=max(1.0, float(len(queries))))
+        prefer = Prefer.coerce(prefer if prefer is not None else self.config.default_prefer)
+        engine, (model_key, generation) = self._lease(model)
+        cacheable = self.config.cache_answers and generation is not None
+        answers: list = [None] * len(queries)
+        misses = []
+        for i, query in enumerate(queries):
+            hit = self.cache.get((model_key, generation, prefer, query)) if cacheable else None
+            if hit is not None:
+                answers[i] = hit
+            else:
+                misses.append(i)
+        if misses:
+            try:
+                fresh = engine.run_batch([queries[i] for i in misses], prefer=prefer)
+            except (KeyError, LookupError, ValueError) as exc:
+                raise error_from_exception(exc) from None
+            for i, answer in zip(misses, fresh):
+                answers[i] = answer
+                if cacheable:
+                    self.cache.put((model_key, generation, prefer, queries[i]), answer)
+        return answers
+
+    # ------------------------------------------------------------- wire level
+    def handle_query(self, model: str, payload: dict, api_key: str | None = None) -> dict:
+        """Wire entry point: ``{"query": {...}, "prefer"?: "..."}`` -> answer."""
+        if not isinstance(payload, dict) or "query" not in payload:
+            raise error_from_exception(
+                ValueError('request body must be {"query": {...}, "prefer"?: "..."}')
+            )
+        query = query_from_wire(payload["query"])
+        prefer = prefer_from_wire(payload)
+        answer = self.query(model, query, prefer=prefer, api_key=api_key)
+        return answer_to_wire(answer)
+
+    def handle_query_batch(self, model: str, payload: dict, api_key: str | None = None) -> dict:
+        """Wire entry point: ``{"queries": [...], "prefer"?: "..."}``."""
+        if not isinstance(payload, dict) or not isinstance(payload.get("queries"), list):
+            raise error_from_exception(
+                ValueError('request body must be {"queries": [{...}, ...], "prefer"?: "..."}')
+            )
+        queries = [query_from_wire(q) for q in payload["queries"]]
+        prefer = prefer_from_wire(payload)
+        answers = self.query_batch(model, queries, prefer=prefer, api_key=api_key)
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "answers": [answer_to_wire(a) for a in answers],
+        }
+
+    # ------------------------------------------------------------- metadata
+    def models(self) -> dict:
+        """Inventory: every model on disk, its generation and cached state."""
+        cached = set(self.registry.cached_models)
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "models": [
+                {
+                    "name": name,
+                    "generation": self.registry.generation(name),
+                    "cached": name in cached,
+                }
+                for name in self.registry.list_models()
+            ],
+        }
+
+    def model_info(self, model: str) -> dict:
+        """One model's queryable surface (attrs, bin counts, generation)."""
+        engine, (model_key, generation) = self._lease(model)
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "name": model_key,
+            "generation": generation,
+            "attrs": {
+                attr: {"bins": int(engine._domain.size(attr))} for attr in engine.attrs
+            },
+            "n_records": float(engine._plan.default_n),
+        }
+
+    def stats(self) -> dict:
+        """Observability snapshot (also the benchmark's evidence trail)."""
+        with self._buckets_lock:
+            requests = self._requests
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "uptime_seconds": round(time.time() - self._started, 3),
+            "requests": requests,
+            "cache": self.cache.stats() if self.config.cache_answers else {"enabled": False},
+            "batcher": self.batcher.stats(),
+            "registry": self.registry.stats.as_dict(),
+        }

@@ -1,0 +1,118 @@
+"""Public-API export audit: ``__all__`` is a pinned, resolvable contract.
+
+The serving PR consolidated the public surface: ``repro.serving`` exports
+the whole serving stack (engine, registry, service, schemas, errors, query
+algebra) and top-level ``repro`` re-exports the registry + query algebra so
+the fit/sample and query tiers read as one API.  These tests pin both lists
+exactly — adding an export is a deliberate diff here, and nothing can land
+in ``__all__`` that does not resolve or that shadows a module.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+import repro.serving
+
+#: The pinned top-level surface.  Append deliberately; never remove without
+#: a deprecation note in CHANGES.md.
+REPRO_ALL = [
+    "FieldKind",
+    "FieldSpec",
+    "ModelRegistry",
+    "NetDPSyn",
+    "Query",
+    "QueryAnswer",
+    "QueryEngine",
+    "Schema",
+    "SynthesisConfig",
+    "TraceTable",
+    "count",
+    "histogram",
+    "load_dataset",
+    "marginal",
+    "synthesize",
+    "topk",
+    "__version__",
+]
+
+#: The pinned serving surface (the HTTP transport stays a module import:
+#: ``repro.serving.http`` pulls in the server machinery only when asked).
+SERVING_ALL = [
+    "AnswerCache",
+    "ApiKeyAuth",
+    "AuthenticationError",
+    "DEFAULT_BYTE_BUDGET",
+    "DEFAULT_SAMPLE_RECORDS",
+    "MODEL_SUFFIX",
+    "MicroBatcher",
+    "ModelNotFound",
+    "ModelRegistry",
+    "OpenAccess",
+    "PROVENANCE_MARGINAL",
+    "PROVENANCE_SAMPLE",
+    "Prefer",
+    "Query",
+    "QueryAnswer",
+    "QueryEngine",
+    "QueryService",
+    "QueryValidationError",
+    "QuotaExceeded",
+    "RegistryStats",
+    "SCHEMA_VERSION",
+    "SchemaVersionError",
+    "ServiceConfig",
+    "ServingError",
+    "Tenant",
+    "TokenBucket",
+    "answer_from_wire",
+    "answer_to_wire",
+    "answers_equal",
+    "bin_labels",
+    "count",
+    "histogram",
+    "marginal",
+    "query_from_wire",
+    "query_to_wire",
+    "topk",
+]
+
+
+@pytest.mark.parametrize(
+    "module, pinned",
+    [(repro, REPRO_ALL), (repro.serving, SERVING_ALL)],
+    ids=["repro", "repro.serving"],
+)
+def test_all_is_pinned_exactly(module, pinned):
+    assert list(module.__all__) == pinned
+
+
+@pytest.mark.parametrize(
+    "module", [repro, repro.serving], ids=["repro", "repro.serving"]
+)
+def test_all_is_sorted_and_unique(module):
+    names = [n for n in module.__all__ if not n.startswith("__")]
+    assert names == sorted(names), "keep __all__ sorted (dunders last)"
+    assert len(set(module.__all__)) == len(module.__all__)
+
+
+@pytest.mark.parametrize(
+    "module", [repro, repro.serving], ids=["repro", "repro.serving"]
+)
+def test_every_export_resolves(module):
+    for name in module.__all__:
+        assert getattr(module, name, None) is not None, f"{name} does not resolve"
+
+
+def test_top_level_reexports_are_the_serving_objects():
+    # One object, two import paths — no parallel definitions.
+    for name in ("ModelRegistry", "Query", "QueryAnswer", "QueryEngine",
+                 "count", "histogram", "marginal", "topk"):
+        assert getattr(repro, name) is getattr(repro.serving, name)
+
+
+def test_http_transport_importable_but_not_reexported():
+    module = importlib.import_module("repro.serving.http")
+    assert hasattr(module, "make_server") and hasattr(module, "main")
+    assert "http" not in repro.serving.__all__

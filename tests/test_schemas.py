@@ -1,0 +1,363 @@
+"""Wire-schema contract tests: round-trips, strictness, golden v1 forms.
+
+Three layers of protection for the serving API's wire contract:
+
+- **property round-trips** (hypothesis): ``query_from_wire(query_to_wire(q))
+  == q`` through a real ``json.dumps``/``loads`` cycle for arbitrary valid
+  queries, and ``answer_from_wire(answer_to_wire(a))`` bit-identical under
+  ``answers_equal`` — floats survive because JSON's shortest-repr float
+  round-trip is exact;
+- **strict parsing**: unknown keys, foreign schema versions, and type
+  confusion are rejected with the typed taxonomy (machine-readable codes),
+  never silently reinterpreted;
+- **golden fixtures**: ``tests/data/wire_golden_v1.json`` pins the exact
+  version-1 JSON forms; any re-shape of the wire format fails these tests
+  until ``SCHEMA_VERSION`` is bumped and the fixtures are regenerated
+  (``python tests/test_schemas.py`` rewrites the file).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving import (
+    SCHEMA_VERSION,
+    Prefer,
+    Query,
+    QueryAnswer,
+    QueryValidationError,
+    SchemaVersionError,
+    answer_from_wire,
+    answer_to_wire,
+    answers_equal,
+    count,
+    histogram,
+    marginal,
+    query_from_wire,
+    query_to_wire,
+    topk,
+)
+from repro.serving.schemas import prefer_from_wire
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "wire_golden_v1.json"
+
+ATTRS = ("proto", "dstport", "srcport", "byt", "pkt", "td", "sa", "da", "flag")
+
+_scalar = st.one_of(
+    st.text(max_size=12),
+    st.booleans(),
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False),
+)
+_where = st.dictionaries(
+    st.sampled_from(ATTRS),
+    st.one_of(_scalar, st.lists(_scalar, min_size=1, max_size=4)),
+    max_size=3,
+)
+
+
+def _split(attrs_and_where):
+    """Target attrs and a filter over *disjoint* attributes."""
+    targets, where = attrs_and_where
+    return tuple(targets), {a: v for a, v in where.items() if a not in targets}
+
+
+_marginal_inputs = st.tuples(
+    st.lists(st.sampled_from(ATTRS), min_size=1, max_size=3, unique=True), _where
+)
+_single_inputs = st.tuples(
+    st.lists(st.sampled_from(ATTRS), min_size=1, max_size=1, unique=True), _where
+)
+
+
+def _roundtrip(query: Query) -> Query:
+    """to_wire -> real JSON text -> from_wire."""
+    return query_from_wire(json.loads(json.dumps(query_to_wire(query))))
+
+
+# ------------------------------------------------------------ property tests
+@settings(max_examples=200, deadline=None)
+@given(_where)
+def test_count_roundtrip(where):
+    query = count(where=where)
+    assert _roundtrip(query) == query
+
+
+@settings(max_examples=200, deadline=None)
+@given(_marginal_inputs)
+def test_marginal_roundtrip(inputs):
+    attrs, where = _split(inputs)
+    query = marginal(*attrs, where=where)
+    assert _roundtrip(query) == query
+
+
+@settings(max_examples=200, deadline=None)
+@given(_single_inputs, st.integers(min_value=1, max_value=1000))
+def test_topk_roundtrip(inputs, k):
+    attrs, where = _split(inputs)
+    query = topk(attrs[0], k=k, where=where)
+    assert _roundtrip(query) == query
+
+
+@settings(max_examples=200, deadline=None)
+@given(_single_inputs, st.integers(min_value=1, max_value=512))
+def test_histogram_roundtrip(inputs, bins):
+    attrs, where = _split(inputs)
+    query = histogram(attrs[0], bins=bins, where=where)
+    assert _roundtrip(query) == query
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.floats(allow_nan=False, allow_infinity=False), min_size=1, max_size=16
+    )
+)
+def test_count_answer_value_bit_exact(values):
+    # Any finite float must survive the wire bit-for-bit (shortest repr).
+    for value in values:
+        answer = QueryAnswer(query=count(), value=value, provenance="marginal", source=("proto",))
+        back = answer_from_wire(json.loads(json.dumps(answer_to_wire(answer))))
+        assert answers_equal(back, answer)
+        assert math.copysign(1.0, back.value) == math.copysign(1.0, value)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.lists(
+            st.floats(min_value=0, max_value=1e12, allow_nan=False), min_size=2, max_size=5
+        ),
+        min_size=2,
+        max_size=5,
+    ).filter(lambda rows: len({len(r) for r in rows}) == 1)
+)
+def test_marginal_answer_roundtrip(rows):
+    value = np.asarray(rows, dtype=np.float64)
+    answer = QueryAnswer(
+        query=marginal("proto", "dstport"), value=value, provenance="sample", source=None
+    )
+    back = answer_from_wire(json.loads(json.dumps(answer_to_wire(answer))))
+    assert answers_equal(back, answer)
+    assert back.value.dtype == np.float64
+
+
+def test_topk_and_histogram_answer_roundtrip():
+    topk_answer = QueryAnswer(
+        query=topk("proto", k=2),
+        value=[
+            {"bin": 3, "label": "TCP", "count": 1234.0625},
+            {"bin": 0, "label": "UDP", "count": 98.5},
+        ],
+        provenance="marginal",
+        source=("proto", "dstport"),
+    )
+    hist_answer = QueryAnswer(
+        query=histogram("byt", bins=3),
+        value={
+            "edges": np.asarray([0.0, 0.1, 0.2, 1 / 3]),
+            "counts": np.asarray([5.25, 0.0, 17.125]),
+        },
+        provenance="sample",
+        source=None,
+    )
+    for answer in (topk_answer, hist_answer):
+        back = answer_from_wire(json.loads(json.dumps(answer_to_wire(answer))))
+        assert answers_equal(back, answer)
+
+
+# ------------------------------------------------------------- strict parsing
+def test_unknown_query_key_rejected():
+    with pytest.raises(QueryValidationError, match="unknown field"):
+        query_from_wire({"kind": "count", "atrs": ["proto"]})
+
+
+def test_unknown_answer_key_rejected():
+    wire = answer_to_wire(QueryAnswer(count(), 1.0, "marginal", ("proto",)))
+    wire["extra"] = 1
+    with pytest.raises(QueryValidationError, match="unknown field"):
+        answer_from_wire(wire)
+
+
+def test_foreign_schema_version_rejected():
+    with pytest.raises(SchemaVersionError) as excinfo:
+        query_from_wire({"schema_version": 2, "kind": "count"})
+    assert excinfo.value.code == "unsupported_schema_version"
+    assert excinfo.value.http_status == 400
+
+
+def test_missing_schema_version_means_current():
+    assert query_from_wire({"kind": "count"}) == count()
+
+
+@pytest.mark.parametrize(
+    "payload, match",
+    [
+        ({"kind": "tally"}, "kind"),
+        ({"kind": "count", "attrs": ["proto"]}, "no attrs"),
+        ({"kind": "count", "attrs": "proto"}, "list"),
+        ({"kind": "marginal"}, "at least one attribute"),
+        ({"kind": "topk", "attrs": ["a", "b"], "k": 3}, "exactly one"),
+        ({"kind": "topk", "attrs": ["a"], "k": True}, "integer"),
+        ({"kind": "topk", "attrs": ["a"], "k": 0}, ">= 1"),
+        ({"kind": "marginal", "attrs": ["a"], "k": 3}, "only applies to topk"),
+        ({"kind": "count", "bins": 4}, "only applies to histogram"),
+        ({"kind": "histogram", "attrs": ["a"], "bins": "ten"}, "integer"),
+        ({"kind": "count", "where": ["proto"]}, "object"),
+        ({"kind": "count", "where": {"proto": None}}, "scalar"),
+        ({"kind": "count", "where": {"proto": [["TCP"]]}}, "scalar"),
+    ],
+)
+def test_invalid_queries_rejected(payload, match):
+    with pytest.raises(QueryValidationError, match=match):
+        query_from_wire(payload)
+
+
+def test_query_validation_error_is_a_value_error():
+    # Pre-taxonomy call sites catch ValueError; the taxonomy must satisfy them.
+    with pytest.raises(ValueError):
+        query_from_wire({"kind": "nope"})
+
+
+def test_answer_missing_fields_rejected():
+    wire = answer_to_wire(QueryAnswer(count(), 1.0, "marginal", None))
+    del wire["value"]
+    with pytest.raises(QueryValidationError, match="missing required field"):
+        answer_from_wire(wire)
+
+
+def test_answer_value_shape_mismatch_rejected():
+    wire = answer_to_wire(
+        QueryAnswer(
+            histogram("byt"),
+            {"edges": np.asarray([0.0, 1.0]), "counts": np.asarray([1.0])},
+            "sample",
+        )
+    )
+    wire["value"] = {"edges": [0.0, 1.0]}  # counts missing
+    with pytest.raises(QueryValidationError, match="histogram"):
+        answer_from_wire(wire)
+
+
+# ------------------------------------------------------------------- prefer
+def test_prefer_coerce_is_the_single_validation_point():
+    assert Prefer.coerce("sample") is Prefer.SAMPLE
+    assert Prefer.coerce(Prefer.MARGINAL) is Prefer.MARGINAL
+    assert Prefer.SAMPLE == "sample"  # str-valued: pre-enum call sites work
+    assert str(Prefer.AUTO) == "auto"
+    with pytest.raises(QueryValidationError, match="prefer must be one of"):
+        Prefer.coerce("bogus")
+    with pytest.raises(ValueError):  # back-compat alias of the above
+        Prefer.coerce("bogus")
+
+
+def test_prefer_from_wire():
+    assert prefer_from_wire({}) is Prefer.AUTO
+    assert prefer_from_wire({"prefer": "marginal"}) is Prefer.MARGINAL
+    with pytest.raises(QueryValidationError):
+        prefer_from_wire({"prefer": "everything"})
+
+
+# ------------------------------------------------------------ golden fixtures
+def golden_cases() -> tuple[dict, dict]:
+    """The pinned objects; regenerate the fixture by running this module."""
+    queries = {
+        "count_total": count(),
+        "count_filtered": count(where={"proto": "TCP"}),
+        "count_multi_filter": count(where={"proto": ["TCP", "UDP"], "dstport": 443}),
+        "marginal_pair": marginal("proto", "dstport"),
+        "marginal_filtered": marginal("sa", "da", where={"proto": ["TCP", "UDP"]}),
+        "topk_plain": topk("dstport", k=5),
+        "topk_filtered": topk("proto", k=3, where={"dstport": 443}),
+        "histogram_plain": histogram("byt", bins=12),
+        "histogram_filtered": histogram("td", bins=8, where={"dstport": [80, 443]}),
+    }
+    answers = {
+        "count_answer": QueryAnswer(
+            query=queries["count_filtered"],
+            value=1234.5678901234567,
+            provenance="marginal",
+            source=("proto", "dstport"),
+        ),
+        "marginal_answer": QueryAnswer(
+            query=queries["marginal_pair"],
+            value=np.asarray([[1.5, 2.25], [0.1, 7.75]]),
+            provenance="marginal",
+            source=("proto", "dstport"),
+        ),
+        "topk_answer": QueryAnswer(
+            query=queries["topk_plain"],
+            value=[
+                {"bin": 7, "label": "443", "count": 1000.125},
+                {"bin": 2, "label": "80", "count": 512.0},
+            ],
+            provenance="sample",
+            source=None,
+        ),
+        "histogram_answer": QueryAnswer(
+            query=queries["histogram_plain"],
+            value={
+                "edges": np.asarray([0.0, 0.5, 1.0]),
+                "counts": np.asarray([3.0, 4.5]),
+            },
+            provenance="sample",
+            source=None,
+        ),
+    }
+    return queries, answers
+
+
+def _golden_payload() -> dict:
+    queries, answers = golden_cases()
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "queries": {name: query_to_wire(q) for name, q in queries.items()},
+        "answers": {name: answer_to_wire(a) for name, a in answers.items()},
+    }
+
+
+def _load_golden() -> dict:
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+def test_golden_file_pins_version_1():
+    golden = _load_golden()
+    assert golden["schema_version"] == 1
+    assert SCHEMA_VERSION == 1, "bump the golden fixtures with the schema version"
+    for wire in list(golden["queries"].values()) + list(golden["answers"].values()):
+        assert wire["schema_version"] == 1
+
+
+def test_wire_forms_match_golden_exactly():
+    # Byte-level stability: the emitted wire form IS the committed form.
+    assert _golden_payload() == _load_golden()
+
+
+def test_golden_queries_parse_back():
+    golden = _load_golden()
+    queries, _ = golden_cases()
+    for name, query in queries.items():
+        assert query_from_wire(golden["queries"][name]) == query
+
+
+def test_golden_answers_parse_back():
+    golden = _load_golden()
+    _, answers = golden_cases()
+    for name, answer in answers.items():
+        assert answers_equal(answer_from_wire(golden["answers"][name]), answer)
+
+
+if __name__ == "__main__":
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    with open(GOLDEN_PATH, "w") as fh:
+        json.dump(_golden_payload(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {GOLDEN_PATH}")
