@@ -11,6 +11,8 @@ Acceptance gates (full scale, >= 20k synthesized records):
 - process-4 shows >= 1.5x sampling-phase speedup over the serial backend;
 - the ``vectorized`` kernel shows >= 2x single-shard speedup over the
   ``reference`` kernel (the kernel dimension of the benchmark);
+- the ``fused`` kernel (the ``auto`` head) shows >= 3x single-shard speedup
+  over ``reference``;
 - single-shard serial output is bit-identical to the pre-refactor
   ``sample()`` for the pinned golden workload;
 - backends are interchangeable: same seed + shard count => same digest;
@@ -98,10 +100,15 @@ def run_and_check(scale: ExperimentScale) -> dict:
             )
         else:
             print("[engine] single-CPU machine: parallel speedup gate skipped")
-        # The kernel gate is single-core by construction and always applies.
+        # The kernel gates are single-core by construction and always apply.
         kernel_speedup = kernel_rows["vectorized"]["speedup_vs_reference"]
         assert kernel_speedup >= 2.0, (
             f"vectorized kernel speedup {kernel_speedup:.2f}x < 2.0x over the "
+            "reference kernel on the single-shard workload"
+        )
+        fused_speedup = kernel_rows["fused"]["speedup_vs_reference"]
+        assert fused_speedup >= 3.0, (
+            f"fused kernel speedup {fused_speedup:.2f}x < 3.0x over the "
             "reference kernel on the single-shard workload"
         )
     return result

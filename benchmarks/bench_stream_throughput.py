@@ -14,7 +14,13 @@ targets the 1M-record ToN workload of the acceptance criteria):
   in fresh subprocesses) while the record count grows 10x;
 - sharded decode is digest-stable across serial/process/shared backends, and
   ``sample_stream`` chunks concatenate to the in-memory ``sample()`` —
-  always asserted, even in smoke mode.
+  always asserted, even in smoke mode;
+- the copy probe's ``pickled_column_bytes`` is **zero** at every scale
+  (shard tables must cross the shared backend as arena descriptors, never
+  pickled columns — the probe floors its own record count so shard tables
+  cannot legitimately fall under the pickle threshold), and
+  ``bytes_copied_per_record`` is gated against the committed baseline by
+  ``compare_baselines.py``.
 
 Smoke mode (REPRO_BENCH_SMOKE=1, used by CI) shrinks the workload and skips
 the perf/RSS gates — parallel overhead and interpreter baseline RSS dominate
@@ -76,11 +82,21 @@ def run_and_check(scale: ExperimentScale) -> dict:
     )
     print(f"[stream] decode stable: {result['decode_digest_stability']['matches']}  "
           f"stream equality: {result['stream_equality']['matches']}")
+    probe = result["copy_probe"]
+    print(
+        f"[stream] copy probe: {probe['pickled_column_bytes']} pickled B, "
+        f"{probe['stitch_bytes']} stitch B over {probe['n_records']} records "
+        f"({probe['bytes_copied_per_record']:.1f} B/rec, "
+        f"arena peak {probe['arena_bytes'] / 1e6:.1f} MB)"
+    )
 
     # Correctness gates hold at every scale: sharded decode must not depend
     # on the backend, and chunking must not change content.
     assert result["decode_digest_stability"]["matches"], result["decode_digest_stability"]
     assert result["stream_equality"]["matches"], result["stream_equality"]
+    # The zero-copy invariant holds at every scale too: shard tables travel
+    # as shm arena descriptors, never as pickled column bytes.
+    assert probe["pickled_column_bytes"] == 0, probe
     assert result["rss"]["grown"]["n_records"] == result["rss"]["growth"] * (
         result["rss"]["base"]["n_records"]
     )

@@ -6,8 +6,10 @@ RSS.  This script distills the *gated metrics* out of that file and compares
 them against ``benchmarks/baselines/bench-smoke-baseline.json``:
 
 - synthesis throughput (records/sec, engine + streaming serial baselines);
-- the vectorized-kernel and marginal-phase speedups (ratios, so they are
-  robust to runner speed differences);
+- the vectorized-kernel, fused-kernel, and marginal-phase speedups (ratios,
+  so they are robust to runner speed differences);
+- bytes copied per record across the sharded shared backend (the zero-copy
+  data plane's per-record movement budget, lower is better);
 - HTTP serving throughput and p50 latency under closed-loop client load;
 - per-benchmark peak RSS.
 
@@ -54,6 +56,11 @@ GATED_RESULT_METRICS = {
         ("kernel_rows", "vectorized", "speedup_vs_reference"),
         "higher",
     ),
+    "engine.kernel.fused.speedup_vs_reference": (
+        "test_engine_scaling",
+        ("kernel_rows", "fused", "speedup_vs_reference"),
+        "higher",
+    ),
     # batched-1 isolates the cell-code kernel against the reference scan in
     # one process — a stable ratio even at smoke scale, unlike process-4,
     # whose smoke-scale "speedup" is pure pool-startup overhead plus
@@ -67,6 +74,17 @@ GATED_RESULT_METRICS = {
         "test_stream_throughput",
         ("rows", "serial-1", "records_per_second"),
         "higher",
+    ),
+    # Zero-copy data plane: bytes moved per synthesized record across the
+    # sharded shared backend (pickled + stitch).  The pickled share is
+    # hard-asserted to be zero in the benchmark itself; the per-record total
+    # is gated here so a stitching regression cannot land silently.  It is a
+    # per-record byte count, not a wall-clock rate, so it is machine-stable
+    # and keeps the tight band.
+    "stream.shared.bytes_copied_per_record": (
+        "test_stream_throughput",
+        ("copy_probe", "bytes_copied_per_record"),
+        "lower",
     ),
     # Serving layer: batched queries/sec is the headline number; the
     # batch-over-serial speedup is a same-run ratio, so it is robust to

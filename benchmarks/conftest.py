@@ -21,6 +21,7 @@ import os
 
 import pytest
 
+from repro.data.arena import copy_stats
 from repro.experiments import ExperimentScale
 from repro.utils.memory import peak_rss_bytes
 
@@ -52,11 +53,13 @@ def attach(benchmark, payload: dict) -> None:
     """Record experiment rows on the benchmark for JSON export.
 
     Every record also carries the harness process's peak RSS at attach time
-    (``resource.getrusage`` high-water mark), so the per-PR timing artifact
-    tracks the memory trajectory alongside the timings.
+    (``resource.getrusage`` high-water mark) and the columnar arena
+    allocation high-water mark (``copy_stats`` ledger), so the per-PR timing
+    artifact tracks both memory trajectories alongside the timings.
     """
     benchmark.extra_info["result"] = payload
     benchmark.extra_info["peak_rss_bytes"] = peak_rss_bytes()
+    benchmark.extra_info["arena_bytes"] = copy_stats.snapshot()["arena_bytes_peak"]
 
 
 def fmt(value) -> str:

@@ -166,15 +166,34 @@ class ParquetSink(TraceSink):
         self._pq = pyarrow.parquet
         self._writer = None
 
+    def _wrap_column(self, col: np.ndarray):
+        """An Arrow array over ``col``'s buffer — no copy for numeric dtypes.
+
+        Streamed chunks arrive as views over one contiguous arena
+        (:meth:`TraceTable.concat_all` stitching), so wrapping the buffer
+        in place (``Array.from_buffers`` over a ``py_buffer``) hands the
+        parquet encoder the very bytes the decode shards produced.  Dtypes
+        Arrow cannot represent primitively (strings, bools-as-bits
+        mismatches) fall back to the copying constructor.
+        """
+        pa = self._pa
+        if col.dtype == object:
+            return pa.array([str(v) for v in col])
+        try:
+            arrow_type = pa.from_numpy_dtype(col.dtype)
+            if not pa.types.is_primitive(arrow_type) or col.dtype == np.bool_:
+                raise pa.ArrowNotImplementedError("non-primitive")
+            col = np.ascontiguousarray(col)
+            return pa.Array.from_buffers(
+                arrow_type, len(col), [None, pa.py_buffer(col)]
+            )
+        except (pa.ArrowNotImplementedError, pa.ArrowTypeError):
+            return pa.array(col)
+
     def _arrow_chunk(self, table: TraceTable):
-        arrays = {}
-        for name in self.schema.names:
-            col = table.column(name)
-            if col.dtype == object:
-                arrays[name] = self._pa.array([str(v) for v in col])
-            else:
-                arrays[name] = self._pa.array(col)
-        return self._pa.table(arrays)
+        return self._pa.table(
+            {name: self._wrap_column(table.column(name)) for name in self.schema.names}
+        )
 
     def _write(self, table: TraceTable) -> None:
         batch = self._arrow_chunk(table)

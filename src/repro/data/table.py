@@ -33,6 +33,26 @@ class TraceTable:
             raise ValueError(f"ragged columns: {lengths}")
         self.schema = schema
         self._columns = {n: np.asarray(columns[n]) for n in schema.names}
+        self._capsule = None
+
+    @classmethod
+    def _from_trusted(
+        cls, schema: Schema, columns: dict, capsule=None
+    ) -> "TraceTable":
+        """Wrap pre-validated columns without re-checking or re-wrapping them.
+
+        The internal fast path for transforms (take/filter/sort/concat) and
+        the arena data plane: ``columns`` must already be ndarrays keyed
+        exactly by ``schema.names`` with equal lengths — the invariants the
+        public constructor just established for the inputs these methods
+        derive from.  ``capsule`` keeps an external buffer (e.g. a shared-
+        memory segment) mapped for as long as this table is alive.
+        """
+        table = object.__new__(cls)
+        table.schema = schema
+        table._columns = columns
+        table._capsule = capsule
+        return table
 
     # ------------------------------------------------------------------ basic
     @property
@@ -71,7 +91,7 @@ class TraceTable:
         if name in self.schema:
             cols = dict(self._columns)
             cols[name] = values
-            return TraceTable(self.schema, cols)
+            return TraceTable._from_trusted(self.schema, cols)
         if spec is None:
             raise ValueError(f"new column {name!r} requires a FieldSpec")
         if spec.name != name:
@@ -79,19 +99,19 @@ class TraceTable:
         schema = self.schema.with_field(spec)
         cols = dict(self._columns)
         cols[name] = values
-        return TraceTable(schema, cols)
+        return TraceTable._from_trusted(schema, {n: cols[n] for n in schema.names})
 
     def without_column(self, name: str) -> "TraceTable":
         """Return a new table with column ``name`` dropped."""
         schema = self.schema.without_field(name)
         cols = {n: c for n, c in self._columns.items() if n != name}
-        return TraceTable(schema, cols)
+        return TraceTable._from_trusted(schema, cols)
 
     def take(self, indices: np.ndarray) -> "TraceTable":
-        """Row subset/permutation by integer indices."""
+        """Row subset/permutation by integer indices (columns are copies)."""
         indices = np.asarray(indices)
         cols = {n: c[indices] for n, c in self._columns.items()}
-        return TraceTable(self.schema, cols)
+        return TraceTable._from_trusted(self.schema, cols)
 
     def filter(self, mask: np.ndarray) -> "TraceTable":
         """Row subset by boolean mask."""
@@ -121,12 +141,17 @@ class TraceTable:
 
     @staticmethod
     def concat_all(tables: "list[TraceTable]") -> "TraceTable":
-        """Vertically stack many tables in one pass (one copy per column).
+        """Vertically stack many tables by view-stitching into one arena.
 
         Unlike chaining :meth:`concat`, which re-copies every earlier row for
-        each appended table, this concatenates each column exactly once — the
-        merge primitive behind sharded decoding and chunk re-slicing.
+        each appended table, this copies each column exactly once — straight
+        into a single contiguous arena allocation, so the result's columns
+        are views over one buffer (the merge primitive behind sharded
+        decoding and chunk re-slicing).  Object columns, and columns whose
+        dtype differs across inputs, fall back to a plain ``concatenate``.
         """
+        from repro.data.arena import _align, copy_stats, track_arena
+
         if not tables:
             raise ValueError("concat_all requires at least one table")
         first = tables[0]
@@ -135,11 +160,34 @@ class TraceTable:
         for other in tables[1:]:
             if other.schema.names != first.schema.names:
                 raise ValueError("schema mismatch in concat")
-        cols = {
-            n: np.concatenate([t._columns[n] for t in tables])
-            for n in first.schema.names
-        }
-        return TraceTable(first.schema, cols)
+        n_total = sum(t.n_records for t in tables)
+        # Plan one arena slot per stitchable column (shared dtype, non-object).
+        plan = {}
+        offset = 0
+        for name in first.schema.names:
+            dtype = first._columns[name].dtype
+            if dtype == object or any(
+                t._columns[name].dtype != dtype for t in tables[1:]
+            ):
+                continue
+            offset = _align(offset)
+            plan[name] = (dtype, offset)
+            offset += dtype.itemsize * n_total
+        buffer = np.empty(offset, dtype=np.uint8) if plan else None
+        if buffer is not None:
+            track_arena(buffer, buffer.nbytes)
+        cols = {}
+        for name in first.schema.names:
+            parts = [t._columns[name] for t in tables]
+            if name in plan:
+                dtype, start = plan[name]
+                out = np.ndarray((n_total,), dtype=dtype, buffer=buffer, offset=start)
+                np.concatenate(parts, out=out)
+                copy_stats.count_stitch(out.nbytes)
+                cols[name] = out
+            else:
+                cols[name] = np.concatenate(parts)
+        return TraceTable._from_trusted(first.schema, cols)
 
     # --------------------------------------------------------------- grouping
     def group_ids(self, names: Iterable[str]) -> np.ndarray:
@@ -186,6 +234,22 @@ class TraceTable:
         return h.hexdigest()
 
     # ------------------------------------------------------------- conversion
+    def to_arena(self):
+        """Flatten into a :class:`~repro.data.arena.TableArena` (one buffer).
+
+        The arena's ``(slots, buffer, extras)`` triple is the table's
+        explicit buffer layout — what the ``shared`` backend ships as a
+        single shm segment and the Arrow sink wraps without copying.
+        """
+        from repro.data.arena import TableArena
+
+        return TableArena.from_table(self)
+
+    @classmethod
+    def from_arena(cls, arena) -> "TraceTable":
+        """Reconstruct a table from an arena; raw columns are views."""
+        return arena.to_table()
+
     def to_records(self) -> list[dict]:
         """Materialize as a list of per-row dicts (small tables only)."""
         names = self.schema.names

@@ -33,7 +33,12 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.engine.config import BACKENDS
-from repro.engine.shm import export_result, import_result, release_result
+from repro.engine.shm import (
+    export_result,
+    import_result,
+    release_result,
+    sweep_orphan_segments,
+)
 
 if TYPE_CHECKING:  # import would cycle through plan -> synthesis -> marginals
     from repro.engine.plan import ShardResult, SynthesisPlan
@@ -373,6 +378,22 @@ class SharedMemoryBackend(ProcessBackend):
 
     def _discard(self, raw):
         release_result(raw)
+
+    def _drain(self, futures) -> None:
+        """Reap futures, then sweep segments orphaned by dead workers.
+
+        A worker killed between exporting a segment and the parent importing
+        it leaves no handle to release — every future it touched raises —
+        but its segment names are reconstructable (they embed this pid and
+        the worker's), so the sweep reclaims them here, on every teardown
+        path.  Live workers' segments are never touched.
+        """
+        super()._drain(futures)
+        sweep_orphan_segments()
+
+    def close(self) -> None:
+        super().close()
+        sweep_orphan_segments()
 
 
 def scatter_map(executor: Backend, fn, items: list, shared=None, n_chunks=None) -> list:

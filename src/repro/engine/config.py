@@ -48,8 +48,9 @@ class EngineConfig:
     #: shard).
     max_workers: int | None = None
     #: GUM update kernel: a registered kernel name (``"reference"``,
-    #: ``"vectorized"``, ``"numba"``) or ``"auto"`` (fastest available,
-    #: resolved numba -> vectorized -> reference at execution time).  Every
+    #: ``"vectorized"``, ``"numba"``, ``"fused"``) or ``"auto"`` (fastest
+    #: available, resolved fused -> numba -> vectorized -> reference at
+    #: execution time).  Every
     #: kernel is bit-identical, so this only changes speed, never output —
     #: which is also why a persisted model carrying ``kernel="numba"`` can
     #: sample on a host without numba (resolution falls back).

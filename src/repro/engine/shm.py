@@ -1,39 +1,77 @@
 """Shared-memory transport for ndarray-bearing task results.
 
 The process backend pays one pickle + pipe round trip per task result; for
-shard outputs (the (n, k) encoded matrix, or the decoded numeric columns of a
+shard outputs (the (n, k) encoded matrix, or the decoded columns of a
 :class:`~repro.data.table.TraceTable`) that serialization dominates the IPC
-cost.  The ``shared`` backend instead has the **worker** copy every large
-numeric array into a :mod:`multiprocessing.shared_memory` segment and ship
-only a tiny :class:`ShmArrayRef` through the pipe; the parent attaches a view
-on the segment, materializes it, and unlinks the segment immediately — one
-memcpy instead of pickle-encode → pipe chunks → pickle-decode.
+cost.  The ``shared`` backend instead has the **worker** park large results
+in :mod:`multiprocessing.shared_memory` segments and ship only name-sized
+handles through the pipe:
+
+- a bare numeric ndarray travels as a :class:`ShmArrayRef` (one segment, one
+  worker-side memcpy, parent materializes and unlinks);
+- a whole :class:`TraceTable` travels as a :class:`ShmTableArenaRef` — the
+  worker lays the table out as a single contiguous
+  :mod:`~repro.data.arena` arena built **directly inside** the segment
+  (columns are copied exactly once, straight to their final home) and the
+  descriptor carries only ``(segment name, slots, dictionaries)``.  The
+  parent maps the segment and reconstructs every raw column as a zero-copy
+  view: **zero pickled column bytes** cross the pipe, and nothing is copied
+  on import at all.
 
 Ownership protocol (POSIX): the creating worker unregisters the segment from
-its resource tracker right away and never unlinks; the parent attaches (which
-re-registers on Python <= 3.12), copies, and calls ``unlink()`` (which
-unregisters again).  Every segment is therefore unlinked exactly once, by the
-parent, within the task round trip — no tracker warnings, no ``/dev/shm``
-leaks on a clean exit, and a crash before import leaks at most the in-flight
-segments.
+its resource tracker right away and never unlinks.  For arrays the parent
+attaches, copies, and unlinks within the round trip.  For table arenas the
+parent's column views alias the mapping, so the unlink is *deferred*: the
+imported table holds a capsule whose finalizer closes the mapping and
+unlinks the segment when the last table using it is collected (an unlink
+only removes the name — live mappings stay valid).  Every segment is still
+unlinked exactly once, by the parent.
 
-Only arrays of at least :data:`SHM_MIN_BYTES` travel this way; small arrays,
-object arrays (strings cannot be memory-mapped), and every other value pickle
-through the pipe as usual, so results round-trip unchanged for arbitrary task
-functions.
+Segments carry deterministic names — ``nds{parent:x}-{worker:x}-{seq:x}`` —
+so the parent can *sweep* leftovers: if a worker dies between exporting a
+segment and the parent importing it, the handle is lost but the name is
+reconstructable.  :func:`sweep_orphan_segments` scans ``/dev/shm`` for this
+parent's prefix and unlinks segments whose creating worker is no longer
+alive; the shared backend runs it after every drain and on ``close()``, so a
+killed worker cannot leak ``/dev/shm`` space past the run that lost it.
+
+Only values of at least :data:`SHM_MIN_BYTES` travel through segments; small
+arrays and tables, plus every other value, pickle through the pipe as usual
+(the parent charges those bytes to the :data:`~repro.data.arena.copy_stats`
+ledger, which is how the ``bytes_copied_per_record`` benchmark probe keeps
+the zero-pickled-column-bytes invariant honest), so results round-trip
+unchanged for arbitrary task functions.
 """
 
 from __future__ import annotations
 
+import itertools
+import os
+import weakref
 from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.data.arena import (
+    SLOT_PICKLE,
+    TableArena,
+    copy_stats,
+    pickled_nbytes,
+    plan_layout,
+    track_arena,
+    write_layout,
+)
 from repro.data.table import TraceTable
 
-#: Arrays smaller than this (bytes) are pickled instead of exported: below a
+#: Values smaller than this (bytes) are pickled instead of exported: below a
 #: few pipe buffers the segment setup costs more than the copy it saves.
 SHM_MIN_BYTES = 1 << 16
+
+#: Where POSIX shared memory is visible as files (the sweep scans it).
+_SHM_DIR = "/dev/shm"
+
+#: Per-process sequence for deterministic segment names.
+_SEQ = itertools.count()
 
 
 @dataclass
@@ -46,11 +84,23 @@ class ShmArrayRef:
 
 
 @dataclass
-class ShmTableRef:
-    """A :class:`TraceTable` whose numeric columns are parked in shared memory."""
+class ShmTableArenaRef:
+    """A :class:`TraceTable` parked in shared memory as one arena segment.
 
+    ``slots`` is the arena's wire-form layout (offsets + dtypes into the
+    segment); ``extras`` carries the out-of-band payloads (dictionary values
+    for dict slots, whole columns for pickle slots).  ``pickled_bytes`` is
+    the worker-computed pickle size of the pickle-slot payloads — the only
+    column bytes that did not travel zero-copy — which the importing parent
+    charges to the copy ledger.
+    """
+
+    name: str
     schema: object
-    columns: dict
+    slots: tuple
+    extras: dict
+    nbytes: int
+    pickled_bytes: int = 0
 
 
 def _unregister(name: str) -> None:
@@ -67,16 +117,105 @@ def _unregister(name: str) -> None:
         pass
 
 
+def _segment_name(seq: int) -> str:
+    """Deterministic segment name: parent pid, this pid, per-process sequence."""
+    return f"nds{os.getppid():x}-{os.getpid():x}-{seq:x}"
+
+
+def _create_segment(size: int):
+    """Create a fresh segment under this process's deterministic name series.
+
+    Skips over names that already exist (a previous incarnation of this pid
+    may have leaked one mid-crash) instead of failing.
+    """
+    from multiprocessing import shared_memory
+
+    for seq in _SEQ:
+        try:
+            return shared_memory.SharedMemory(
+                name=_segment_name(seq), create=True, size=size
+            )
+        except FileExistsError:  # pragma: no cover - stale name from a crash
+            continue
+    raise RuntimeError("unreachable")  # pragma: no cover
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - pid recycled by another user
+        return True
+    return True
+
+
+def sweep_orphan_segments() -> int:
+    """Unlink segments created for this process by workers that have died.
+
+    Scans :data:`_SHM_DIR` for ``nds{this pid:x}-`` names, parses the
+    creating worker's pid out of the name, and unlinks the segment when that
+    worker no longer exists.  Segments of *live* workers are left alone —
+    they are either in flight (the parent will import and unlink them) or
+    about to be handed over.  Returns the number of segments removed.
+    """
+    if not os.path.isdir(_SHM_DIR):  # pragma: no cover - non-POSIX host
+        return 0
+    prefix = f"nds{os.getpid():x}-"
+    swept = 0
+    for entry in os.listdir(_SHM_DIR):
+        if not entry.startswith(prefix):
+            continue
+        worker_hex = entry[len(prefix) :].split("-", 1)[0]
+        try:
+            worker = int(worker_hex, 16)
+        except ValueError:  # pragma: no cover - foreign name under our prefix
+            continue
+        if _pid_alive(worker):
+            continue
+        try:
+            os.unlink(os.path.join(_SHM_DIR, entry))
+            swept += 1
+        except FileNotFoundError:  # pragma: no cover - concurrent sweep
+            pass
+    return swept
+
+
+class _ArenaCapsule:
+    """Keeps a parent-side segment mapping alive for the tables viewing it."""
+
+    __slots__ = ("name", "__weakref__")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+def _release_mapped(shm) -> None:
+    """Finalizer for an imported arena segment: close the mapping, unlink.
+
+    ``close()`` raises ``BufferError`` when column views torn from the table
+    still alias the mapping (they do not hold the capsule); the mapping then
+    simply stays alive until the process exits, while ``unlink()`` still
+    removes the name so the segment cannot outlive this run on disk.
+    """
+    try:
+        shm.close()
+    except BufferError:
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - swept or double-unlink
+        pass
+
+
 def export_array(arr: np.ndarray) -> ShmArrayRef:
     """Copy ``arr`` into a fresh shared-memory segment and return its handle.
 
     The caller-side mapping is closed before returning; the segment itself
     stays alive (the importer unlinks it).
     """
-    from multiprocessing import shared_memory
-
     arr = np.ascontiguousarray(arr)
-    shm = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+    shm = _create_segment(arr.nbytes)
     try:
         view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
         view[...] = arr
@@ -109,8 +248,8 @@ def import_array(ref: ShmArrayRef) -> np.ndarray:
     return out
 
 
-def release_array(ref: ShmArrayRef) -> None:
-    """Destroy the segment behind ``ref`` without materializing it.
+def release_array(ref) -> None:
+    """Destroy the segment behind a ref without materializing it.
 
     Used when an exported result will never be imported (a consumer abandoned
     the stream, or a sibling task failed): attaching and unlinking keeps the
@@ -129,6 +268,64 @@ def release_array(ref: ShmArrayRef) -> None:
         pass
 
 
+def export_table(table: TraceTable):
+    """Park a table in one shm segment as a contiguous arena; return its ref.
+
+    The arena is laid out **directly inside the segment** — plan first, then
+    write each column straight to its final offset — so export costs exactly
+    one copy per column and the descriptor that crosses the pipe carries no
+    array bytes at all (dictionary values and un-encodable object columns
+    ride in ``extras``; the latter are measured into ``pickled_bytes``).
+
+    Tables whose arena would be smaller than :data:`SHM_MIN_BYTES` are
+    returned unchanged and pickle through the pipe whole.
+    """
+    slots, nbytes, arrays, extras = plan_layout(table)
+    if nbytes < SHM_MIN_BYTES:
+        return table
+    shm = _create_segment(nbytes)
+    try:
+        write_layout(slots, arrays, shm.buf)
+        ref = ShmTableArenaRef(
+            name=shm.name,
+            schema=table.schema,
+            slots=slots,
+            extras=extras,
+            nbytes=nbytes,
+            pickled_bytes=sum(
+                pickled_nbytes(extras[slot.name])
+                for slot in slots
+                if slot.kind == SLOT_PICKLE
+            ),
+        )
+    finally:
+        registered = getattr(shm, "_name", shm.name)
+        shm.close()
+        _unregister(registered)
+    return ref
+
+
+def import_table(ref: ShmTableArenaRef) -> TraceTable:
+    """Map the arena behind ``ref``; every raw column is a zero-copy view.
+
+    The returned table's capsule owns the mapping: the segment is unlinked
+    by the capsule's finalizer once the table (and every table sharing the
+    capsule) is garbage, not eagerly — see :func:`_release_mapped`.
+    """
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=ref.name)
+    capsule = _ArenaCapsule(shm.name)
+    weakref.finalize(capsule, _release_mapped, shm)
+    track_arena(capsule, ref.nbytes)
+    if ref.pickled_bytes:
+        copy_stats.count_pickled(ref.pickled_bytes)
+    arena = TableArena(
+        ref.schema, ref.slots, shm.buf, ref.extras, ref.nbytes, owner=capsule
+    )
+    return arena.to_table()
+
+
 def _exportable(value) -> bool:
     return (
         isinstance(value, np.ndarray)
@@ -138,22 +335,20 @@ def _exportable(value) -> bool:
 
 
 def export_result(obj):
-    """Recursively swap large ndarrays in a task result for shm handles.
+    """Recursively swap large payloads in a task result for shm handles.
 
     Understands the engine's result shapes — bare arrays, ``ShardResult`` /
-    ``DecodedShard`` payloads, :class:`TraceTable` columns — plus plain
-    dict/list/tuple containers.  Everything else passes through untouched
-    (and is pickled by the pool as usual).
+    ``DecodedShard`` payloads, whole :class:`TraceTable` results (which
+    travel as single-segment arenas) — plus plain dict/list/tuple
+    containers.  Everything else passes through untouched (and is pickled by
+    the pool as usual).
     """
     from repro.engine.plan import DecodedShard, ShardResult
 
     if _exportable(obj):
         return export_array(obj)
     if isinstance(obj, TraceTable):
-        return ShmTableRef(
-            schema=obj.schema,
-            columns={name: export_result(obj.column(name)) for name in obj.schema.names},
-        )
+        return export_table(obj)
     if isinstance(obj, ShardResult):
         return replace(obj, data=export_result(obj.data))
     if isinstance(obj, DecodedShard):
@@ -167,16 +362,35 @@ def export_result(obj):
     return obj
 
 
+def _charge_pickled_table(table: TraceTable) -> None:
+    """Charge a pipe-pickled table's array payload to the copy ledger."""
+    for name in table.schema.names:
+        col = table.column(name)
+        if isinstance(col, np.ndarray) and col.dtype != object:
+            copy_stats.count_pickled(col.nbytes)
+
+
 def import_result(obj):
-    """Inverse of :func:`export_result`: reattach, copy, and unlink handles."""
+    """Inverse of :func:`export_result`: reattach views, account stragglers.
+
+    Payloads that arrive *without* a handle went through pickle; their array
+    bytes are charged to :data:`~repro.data.arena.copy_stats` here, on the
+    importing side, so the benchmark copy probe observes every byte that
+    crossed the pipe regardless of which branch it took.
+    """
     from repro.engine.plan import DecodedShard, ShardResult
 
     if isinstance(obj, ShmArrayRef):
         return import_array(obj)
-    if isinstance(obj, ShmTableRef):
-        return TraceTable(
-            obj.schema, {name: import_result(col) for name, col in obj.columns.items()}
-        )
+    if isinstance(obj, ShmTableArenaRef):
+        return import_table(obj)
+    if isinstance(obj, TraceTable):
+        _charge_pickled_table(obj)
+        return obj
+    if isinstance(obj, np.ndarray):
+        if obj.dtype != object:
+            copy_stats.count_pickled(obj.nbytes)
+        return obj
     if isinstance(obj, ShardResult):
         return replace(obj, data=import_result(obj.data))
     if isinstance(obj, DecodedShard):
@@ -194,11 +408,8 @@ def release_result(obj) -> None:
     """Destroy every segment in an exported result that won't be imported."""
     from repro.engine.plan import DecodedShard, ShardResult
 
-    if isinstance(obj, ShmArrayRef):
+    if isinstance(obj, (ShmArrayRef, ShmTableArenaRef)):
         release_array(obj)
-    elif isinstance(obj, ShmTableRef):
-        for col in obj.columns.values():
-            release_result(col)
     elif isinstance(obj, ShardResult):
         release_result(obj.data)
     elif isinstance(obj, DecodedShard):

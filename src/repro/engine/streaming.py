@@ -59,6 +59,12 @@ class _ChunkBuffer:
     Holds at most ``chunk + max_shard_size`` rows at a time: shards are
     pushed as they complete and popped row-exactly, preserving shard order,
     so the stream's concatenation is identical to the in-memory merge.
+
+    Popped chunks are stitched into fresh arenas (``concat_all``), never
+    views over the shard tables, so a shard table pushed here dies — and its
+    shm arena capsule unlinks the backing segment — as soon as its last row
+    is popped, keeping the stream's ``/dev/shm`` footprint bounded by the
+    in-flight window exactly like its RSS.
     """
 
     def __init__(self) -> None:

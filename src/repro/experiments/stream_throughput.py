@@ -13,7 +13,13 @@ what the streaming execution plane buys end to end:
   in-process measurements after a fit are meaningless): the model is saved
   once, then each probe loads it, streams ``n`` records to a sink, and
   reports its own peak RSS.  Growing ``n`` 10x at a fixed chunk size should
-  leave the peak roughly flat.
+  leave the peak roughly flat;
+- **copy probe** — a sharded ``backend="shared"`` sample with the
+  :data:`~repro.data.arena.copy_stats` ledger reset around it: shard tables
+  must cross as arena descriptors (``pickled_column_bytes == 0``, asserted
+  by the benchmark), and ``bytes_copied_per_record`` — pickled plus stitch
+  bytes per synthesized record — is gated against the committed baseline so
+  a regression to pickled columns cannot land silently.
 
 Runnable as a CLI for the subprocess probe::
 
@@ -118,6 +124,34 @@ def _run_probe(model_path: str, n: int, chunk: int, sink_format: str) -> dict:
     }
 
 
+def copy_probe(synthesizer, n: int, seed: int, shards: int = 4) -> dict:
+    """Byte-movement ledger around one sharded ``backend="shared"`` sample.
+
+    ``n`` is floored at 4000 so each of the ``shards`` decoded shard tables
+    stays above ``SHM_MIN_BYTES`` — smaller tables legitimately pickle
+    through whole, which would make ``pickled_column_bytes`` scale-dependent
+    instead of an invariant.
+    """
+    from repro.data.arena import copy_stats
+
+    probe_n = max(min(n, 20_000), 4_000)
+    copy_stats.reset()
+    trace = synthesizer.sample(probe_n, rng=seed, shards=shards, backend="shared")
+    snap = copy_stats.snapshot()
+    return {
+        "n_records": trace.n_records,
+        "shards": shards,
+        "pickled_column_bytes": snap["pickled_array_bytes"],
+        "stitch_bytes": snap["stitch_bytes"],
+        "arena_bytes": snap["arena_bytes_peak"],
+        "bytes_copied_per_record": (
+            (snap["pickled_array_bytes"] + snap["stitch_bytes"]) / trace.n_records
+            if trace.n_records
+            else 0.0
+        ),
+    }
+
+
 def verify_stream_equality(synthesizer, n: int, seed: int) -> dict:
     """Chunked stream concatenation must equal the in-memory sample."""
     expected = synthesizer.sample(
@@ -191,6 +225,7 @@ def run(
         "stream_equality": verify_stream_equality(
             synthesizer, min(n, 2000), scale.seed + 31
         ),
+        "copy_probe": copy_probe(synthesizer, n, scale.seed + 53),
     }
 
     base = rss_base if rss_base is not None else max(1, n // 4)

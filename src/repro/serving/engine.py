@@ -237,22 +237,31 @@ class QueryEngine:
         """Synthesize + re-encode the sample cache at bounded RSS.
 
         Chunks stream through ``sample_stream`` and are immediately folded
-        down to int32 bin codes, so the decoded chunks never accumulate;
-        peak memory is one decoded chunk plus the final code matrix.
+        down to int32 bin codes written straight into preallocated
+        full-length code arrays — no per-chunk list accumulation and no
+        final ``concatenate`` copy.  The streamed chunks themselves are
+        arena-view tables (the engine's zero-copy plane), so each one dies,
+        releasing its arena, as soon as its codes are folded; peak memory is
+        one decoded chunk plus the final code matrix.
         """
         n = self.sample_records
         chunk = max(1, min(self.sample_chunk, n))
-        parts: dict = {}
+        codes: dict = {}
+        cursor = 0
         for part in self._model.sample_stream(n, chunk=chunk, rng=self.sample_seed):
             for attr in self._plan.attrs:
                 # Auxiliary attributes (tsdiff) decode away with the original
                 # schema; they stay answerable through the marginal path only.
-                if attr in part.schema:
-                    parts.setdefault(attr, []).append(
-                        self._codecs[attr].encode(part.column(attr))
-                    )
-        codes = {attr: np.concatenate(chunks) for attr, chunks in parts.items()}
-        n_rows = len(next(iter(codes.values()))) if codes else 0
+                if attr not in part.schema:
+                    continue
+                encoded = self._codecs[attr].encode(part.column(attr))
+                if attr not in codes:
+                    codes[attr] = np.empty(n, dtype=np.asarray(encoded).dtype)
+                codes[attr][cursor : cursor + len(encoded)] = encoded
+            cursor += part.n_records
+        if cursor < n:  # pragma: no cover - stream always yields n rows
+            codes = {attr: arr[:cursor] for attr, arr in codes.items()}
+        n_rows = cursor if codes else 0
         return codes, n_rows
 
     # ----------------------------------------------------------- joint counts

@@ -18,10 +18,12 @@ The per-marginal update step is executed by a pluggable
 :class:`~repro.synthesis.kernels.GumKernel` (see
 :mod:`repro.synthesis.kernels`): ``reference`` (the original per-cell loop,
 the golden oracle), ``vectorized`` (whole-step numpy passes over cached
-codes/counts), and ``numba`` (JIT-compiled nogil cache maintenance,
-available only when numba imports).  Every kernel consumes the random
+codes/counts), ``numba`` (JIT-compiled nogil cache maintenance, available
+only when numba imports), and ``fused`` (single pass over precomputed
+per-marginal cell codes — radix grouping, broadcast refill draws, one
+matmul-plus-bincount cache patch).  Every kernel consumes the random
 stream identically and produces bit-identical output, so kernel choice is
-purely a speed decision; ``"auto"`` resolves numba → vectorized →
+purely a speed decision; ``"auto"`` resolves fused → numba → vectorized →
 reference.
 """
 

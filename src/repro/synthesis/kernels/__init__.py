@@ -9,15 +9,21 @@ three registered implementations:
   and counts (:mod:`~repro.synthesis.kernels.vectorized`);
 - ``numba`` — the vectorized kernel with an ``@njit(nogil=True)`` cache
   patch, registered as *available* only when numba imports
-  (:mod:`~repro.synthesis.kernels.numba_kernel`).
+  (:mod:`~repro.synthesis.kernels.numba_kernel`);
+- ``fused`` — one pass over a fused (marginals x records) code matrix per
+  step: radix-sorted grouping, a single bounds-broadcast duplication draw,
+  and a one-``bincount`` cache patch for every marginal at once, with
+  compiled twins when numba is present
+  (:mod:`~repro.synthesis.kernels.fused`).
 
 All kernels consume the random stream identically and produce bit-identical
 output (the parity suite proves it against the pinned golden digests), so
 kernel choice — ``EngineConfig(kernel=...)``, resolved ``auto`` →
-numba → vectorized → reference — is purely a speed decision.
+fused → numba → vectorized → reference — is purely a speed decision.
 """
 
 from repro.synthesis.kernels.base import GumKernel, _MarginalState, _segment_gather
+from repro.synthesis.kernels.fused import FusedKernel
 from repro.synthesis.kernels.numba_kernel import NumbaKernel, numba_available
 from repro.synthesis.kernels.reference import ReferenceKernel
 from repro.synthesis.kernels.registry import (
@@ -35,10 +41,12 @@ from repro.synthesis.kernels.vectorized import VectorizedKernel
 register_kernel(ReferenceKernel)
 register_kernel(VectorizedKernel)
 register_kernel(NumbaKernel)
+register_kernel(FusedKernel)
 
 __all__ = [
     "AUTO_ORDER",
     "KERNEL_AUTO",
+    "FusedKernel",
     "GumKernel",
     "NumbaKernel",
     "ReferenceKernel",

@@ -1,0 +1,144 @@
+"""The fused GUM kernel: one pass over precomputed cell codes per step.
+
+Extends :class:`~repro.synthesis.kernels.vectorized.VectorizedKernel` — the
+RNG-consuming orchestration is inherited, so the bit-identity contract holds
+by construction — and collapses the three remaining per-step passes (row
+grouping, the per-cell duplication draws, the per-marginal cache patch) into
+fused single-pass forms:
+
+- **grouping** — cell codes are cast to ``uint16`` whenever the marginal has
+  at most :data:`RADIX_MAX_CELLS` cells (every NetDPSyn marginal does: the
+  largest ToN marginal has ~2.7k cells), which flips numpy's stable
+  ``argsort`` onto its O(n) radix path — ~6x faster than the int64
+  comparison sort and bit-identical, since casting in-range codes preserves
+  order exactly.  With numba present the compiled O(n + cells) counting sort
+  from PR 4 is used instead, with its scratch reused across steps;
+- **duplication draws** — the reference consumes one
+  ``rng.integers(0, match, size=n_dup)`` call per refilled cell; a single
+  ``rng.integers(0, bounds)`` call with the per-cell bounds repeated
+  per-slot consumes the *identical* stream (PCG64 draws one bounded word per
+  element either way — pinned by the parity suite against future numpy
+  changes) at ~1/100th of the Python dispatch cost;
+- **cache patch** — instead of re-coding the freed rows once per marginal,
+  all marginal codes live in one ``(M, n)`` matrix and all counts in one
+  flat arena with per-marginal offsets.  The new codes of the freed rows for
+  *every* marginal come from one BLAS matmul against an
+  ``(attrs, M)`` stride matrix (float64 products of in-domain codes are
+  < 2^53, so the round-trip through float is exact), and the counts patch is
+  ONE signed-weight ``bincount`` over offset-shifted codes instead of M of
+  them.  With numba present the per-marginal ``@njit(nogil=True)`` patch
+  loop (PR 4's twin) is used instead.
+
+``fused`` is the new head of the ``auto`` resolution order.  Like every
+kernel it is bit-identical to ``reference``; on the 50k-record ToN workload
+it runs >= 3x faster single-core (the benchmark gate in
+``benchmarks/bench_engine_scaling.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.synthesis.kernels.base import cell_codes
+from repro.synthesis.kernels.numba_kernel import (
+    _compiled,
+    _group_rows_py,
+    _patch_rows_py,
+    _strides_for,
+    numba_available,
+)
+from repro.synthesis.kernels.vectorized import VectorizedKernel
+
+#: Largest marginal size (cells) that still groups via uint16 radix sort.
+RADIX_MAX_CELLS = int(np.iinfo(np.uint16).max)
+
+
+class FusedKernel(VectorizedKernel):
+    """Single-pass grouping + draws + cache patch over fused per-run state."""
+
+    name = "fused"
+    uses_cache = True
+
+    def prepare(self, data, states):
+        """Build the fused per-run state: code matrix, counts arena, strides.
+
+        Each marginal's ``codes``/``counts`` are re-bound to views into the
+        fused storage, so the inherited ``step`` orchestration (which reads
+        ``state.codes``/``state.counts``) sees exactly the per-marginal
+        caches it expects while the patch below updates them all at once.
+        """
+        n, n_attrs = data.shape
+        m = len(states)
+        sizes = np.array([state.target.size for state in states], dtype=np.int64)
+        offsets = np.zeros(m, dtype=np.int64)
+        np.cumsum(sizes[:-1], out=offsets[1:])
+        total = int(sizes.sum())
+        codes = np.empty((m, n), dtype=np.int64)
+        counts = np.zeros(total, dtype=np.float64)
+        strides = np.zeros((n_attrs, m), dtype=np.float64)
+        for k, state in enumerate(states):
+            codes[k] = cell_codes(data[:, state.axes], state.shape)
+            view = counts[offsets[k] : offsets[k] + sizes[k]]
+            view[...] = np.bincount(codes[k], minlength=int(sizes[k]))
+            state.codes = codes[k]
+            state.counts = view
+            strides[state.axes, k] = _strides_for(state.shape)
+        self._codes = codes
+        self._counts = counts
+        self._offsets = offsets
+        self._strides = strides
+        self._total = total
+        self._m = m
+        self._jit = numba_available()
+        if self._jit:
+            self._axes = [
+                np.ascontiguousarray(state.axes, dtype=np.int64) for state in states
+            ]
+            self._int_strides = [_strides_for(state.shape) for state in states]
+
+    def _group_rows(self, codes, perm, size):
+        if self._jit:
+            group = _compiled("group_rows", _group_rows_py)
+            return group(codes, perm, np.int64(size))
+        cp = codes[perm]
+        if size <= RADIX_MAX_CELLS:
+            # uint16 keys take numpy's O(n) radix path; in-range casting is
+            # order-preserving, so the stable grouping is bit-identical.
+            order = np.argsort(cp.astype(np.uint16), kind="stable")
+        else:  # pragma: no cover - no shipped marginal exceeds 65535 cells
+            order = np.argsort(cp, kind="stable")
+        return perm[order], cp[order]
+
+    def _dup_offsets(self, rng, match, n_dup, dup_idx):
+        """All per-cell duplication draws as one bounds-broadcast call.
+
+        ``Generator.integers`` with an array of highs draws exactly one
+        bounded word per element in element order — the same words, in the
+        same order, as the reference's per-cell calls, leaving the generator
+        in the identical state (pinned by ``tests/test_kernels.py``).
+        """
+        return rng.integers(0, np.repeat(match[dup_idx], n_dup[dup_idx]))
+
+    def _apply_updates(self, data, states, freed):
+        k = freed.shape[0]
+        if k == 0:
+            return
+        if self._jit:
+            patch = _compiled("patch_rows", _patch_rows_py)
+            rows = np.ascontiguousarray(freed, dtype=np.int64)
+            for state, axes, strides in zip(states, self._axes, self._int_strides):
+                patch(data, rows, axes, strides, state.codes, state.counts)
+            return
+        m = self._m
+        # One matmul re-codes the freed rows for every marginal: exact,
+        # because every product and partial sum is an integer < 2^53.
+        new_codes = (data[freed].astype(np.float64) @ self._strides).astype(np.int64)
+        off = self._offsets[:, None]
+        flat = np.empty((2, m, k), dtype=np.int64)
+        np.add(new_codes.T, off, out=flat[0])
+        np.add(self._codes[:, freed], off, out=flat[1])
+        weights = np.empty(2 * m * k, dtype=np.float64)
+        weights[: m * k] = 1.0
+        weights[m * k :] = -1.0
+        self._counts += np.bincount(flat.ravel(), weights=weights, minlength=self._total)
+        self._codes[:, freed] = new_codes.T

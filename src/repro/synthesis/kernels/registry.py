@@ -18,7 +18,7 @@ import warnings
 from repro.synthesis.kernels.base import GumKernel
 
 #: Resolution order of ``kernel="auto"``: fastest available wins.
-AUTO_ORDER = ("numba", "vectorized", "reference")
+AUTO_ORDER = ("fused", "numba", "vectorized", "reference")
 
 #: The wildcard name resolved through :data:`AUTO_ORDER`.
 KERNEL_AUTO = "auto"

@@ -102,21 +102,8 @@ class VectorizedKernel(GumKernel):
 
         dup_slots = _segment_gather(seg_start, n_dup)
         if len(dup_slots):
-            # The draw bound varies per cell, so each cell's offsets must come
-            # from its own rng.integers call (same calls, same order as the
-            # reference); the surrounding gathers and the write stay bulk.
-            # tolist() feeds the draws plain Python ints — measurably less
-            # per-call overhead than numpy scalars in Generator.integers.
             dup_idx = np.nonzero(n_dup > 0)[0]
-            draw = rng.integers
-            offsets = np.concatenate(
-                [
-                    draw(0, bound, size=count)
-                    for bound, count in zip(
-                        match[dup_idx].tolist(), n_dup[dup_idx].tolist()
-                    )
-                ]
-            )
+            offsets = self._dup_offsets(rng, match, n_dup, dup_idx)
             lo_per = np.repeat(lo_u, n_dup)
             sources = rows_by_cell[lo_per + offsets]
             data[freed[dup_slots]] = data[sources]
@@ -132,6 +119,27 @@ class VectorizedKernel(GumKernel):
         # --- incremental count/code maintenance for every marginal ----------
         self._apply_updates(data, states, freed)
         return pre_error
+
+    def _dup_offsets(self, rng, match, n_dup, dup_idx):
+        """Within-cell source offsets for every duplication slot, in cell order.
+
+        The draw bound varies per cell, so each cell's offsets come from its
+        own ``rng.integers(0, bound, size=count)`` call (same calls, same
+        order as the reference); the surrounding gathers and the write stay
+        bulk.  ``tolist()`` feeds the draws plain Python ints — measurably
+        less per-call overhead than numpy scalars in ``Generator.integers``.
+        The fused kernel overrides this with a single bounds-broadcast draw
+        that consumes the stream identically.
+        """
+        draw = rng.integers
+        return np.concatenate(
+            [
+                draw(0, bound, size=count)
+                for bound, count in zip(
+                    match[dup_idx].tolist(), n_dup[dup_idx].tolist()
+                )
+            ]
+        )
 
     def _group_rows(self, codes, perm, size):
         """Rows grouped by cell (stable in ``perm`` order) + their codes.

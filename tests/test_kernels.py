@@ -5,9 +5,10 @@ Three contracts are enforced here:
 1. **Parity** — every kernel, on every backend, for every shard count and
    legacy update_mode pin, produces a trace digest identical to the
    reference kernel's (the hypothesis sweep).
-2. **Resolution** — the registry's ``auto`` order is numba -> vectorized ->
-   reference, degrades gracefully when numba is not importable, and rejects
-   unknown names everywhere (registry, ``EngineConfig``, ``run_gum``).
+2. **Resolution** — the registry's ``auto`` order is fused -> numba ->
+   vectorized -> reference, degrades gracefully when numba is not
+   importable, and rejects unknown names everywhere (registry,
+   ``EngineConfig``, ``run_gum``).
 3. **Persistence** — ``EngineConfig.override`` and model ``save``/``load``
    round-trip the ``kernel`` field, and a model pinned to an unavailable
    kernel still samples (with a warning), byte-identically.
@@ -25,6 +26,7 @@ from repro.engine import BACKENDS, EngineConfig
 from repro.synthesis.gum import GumConfig, run_gum
 from repro.synthesis.kernels import (
     AUTO_ORDER,
+    FusedKernel,
     GumKernel,
     NumbaKernel,
     ReferenceKernel,
@@ -71,10 +73,10 @@ class TestKernelParity:
         suppress_health_check=[HealthCheck.function_scoped_fixture],
     )
     @given(
-        kernel=st.sampled_from(["auto", "vectorized", "reference"]),
+        kernel=st.sampled_from(["auto", "fused", "vectorized", "reference"]),
         backend=st.sampled_from(BACKENDS),
         shards=st.sampled_from([1, 2, 3]),
-        update_mode=st.sampled_from(["auto", "vectorized", "reference"]),
+        update_mode=st.sampled_from(["auto", "fused", "vectorized", "reference"]),
     )
     def test_kernel_backend_shards_mode_digest_equality(
         self, fitted, reference_digests, kernel, backend, shards, update_mode
@@ -117,13 +119,17 @@ class TestRegistry:
         assert "reference" in names and "vectorized" in names
         assert set(names) <= set(kernel_names())
 
-    def test_auto_prefers_numba_when_importable(self, monkeypatch):
-        monkeypatch.setattr(numba_mod, "numba_available", lambda: True)
-        assert resolve_kernel_name("auto") == "numba"
+    def test_auto_resolves_to_fused(self):
+        """``fused`` heads the auto order and is available everywhere."""
+        assert AUTO_ORDER[0] == "fused"
+        assert resolve_kernel_name("auto") == "fused"
 
-    def test_auto_falls_back_without_numba(self, monkeypatch):
+    def test_auto_order_numba_precedes_vectorized(self):
+        assert AUTO_ORDER.index("numba") < AUTO_ORDER.index("vectorized")
+
+    def test_numba_unavailability_does_not_change_auto(self, monkeypatch):
         monkeypatch.setattr(numba_mod, "numba_available", lambda: False)
-        assert resolve_kernel_name("auto") == "vectorized"
+        assert resolve_kernel_name("auto") == "fused"
         assert "numba" not in available_kernels()
         # The name stays *valid* even while unavailable.
         assert "numba" in kernel_names()
@@ -131,7 +137,7 @@ class TestRegistry:
     def test_unavailable_kernel_warns_and_falls_back(self, monkeypatch):
         monkeypatch.setattr(numba_mod, "numba_available", lambda: False)
         with pytest.warns(RuntimeWarning, match="not available"):
-            assert resolve_kernel_name("numba") == "vectorized"
+            assert resolve_kernel_name("numba") == "fused"
 
     def test_unknown_kernel_rejected_everywhere(self):
         with pytest.raises(ValueError, match="kernel"):
@@ -251,6 +257,118 @@ class TestNumbaTwins:
         idx = np.array([[6, 2, 4], [0, 0, 0], [3, 1, 2]])
         expected = np.ravel_multi_index(tuple(idx.T), shape)
         assert np.array_equal(idx @ strides, expected)
+
+
+class TestFusedKernel:
+    """The fused kernel's three single-pass tricks, each pinned to its twin.
+
+    Bit-identity of the full kernel is already covered by the parity sweep;
+    these tests pin the *individual* stream/ordering contracts the fusion
+    relies on, so a regression points at the exact trick that broke.
+    """
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_broadcast_dup_draw_matches_sequential(self, seed):
+        """One bounds-broadcast ``integers`` call == per-cell calls: same
+        values AND same post-call generator state."""
+        rng = np.random.default_rng(seed)
+        n_cells = int(rng.integers(1, 24))
+        match = rng.integers(1, 2**40, size=n_cells)
+        n_dup = rng.integers(0, 6, size=n_cells)
+        n_dup[int(rng.integers(0, n_cells))] = max(1, int(n_dup[0]))
+        dup_idx = np.nonzero(n_dup > 0)[0]
+        rng_a = np.random.default_rng(seed ^ 0x5EED)
+        rng_b = np.random.default_rng(seed ^ 0x5EED)
+        seq = VectorizedKernel()._dup_offsets(rng_a, match, n_dup, dup_idx)
+        fused = FusedKernel()._dup_offsets(rng_b, match, n_dup, dup_idx)
+        assert np.array_equal(seq, fused)
+        assert rng_a.bit_generator.state == rng_b.bit_generator.state
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_radix_grouping_matches_stable_argsort(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 500))
+        size = int(rng.integers(1, 3000))
+        codes = rng.integers(0, size, size=n)
+        perm = rng.permutation(n)
+        kernel = FusedKernel()
+        kernel._jit = False
+        rows, sorted_codes = kernel._group_rows(codes, perm, size)
+        order = np.argsort(codes[perm], kind="stable")
+        assert np.array_equal(rows, perm[order])
+        assert np.array_equal(sorted_codes, codes[perm][order])
+
+    def test_grouping_beyond_radix_range_still_stable(self):
+        size = 70_000  # > uint16 range: must take the int64 branch, same result
+        rng = np.random.default_rng(3)
+        codes = rng.integers(0, size, size=400)
+        perm = rng.permutation(400)
+        kernel = FusedKernel()
+        kernel._jit = False
+        rows, sorted_codes = kernel._group_rows(codes, perm, size)
+        order = np.argsort(codes[perm], kind="stable")
+        assert np.array_equal(rows, perm[order])
+        assert np.array_equal(sorted_codes, codes[perm][order])
+
+    def _states(self, data):
+        specs = [
+            (np.array([0, 2], dtype=np.int64), (5, 3)),
+            (np.array([1], dtype=np.int64), (4,)),
+            (np.array([0, 1, 3], dtype=np.int64), (5, 4, 3)),
+        ]
+        states = []
+        for axes, shape in specs:
+            size = int(np.prod(shape))
+            state = _MarginalState(axes, shape, np.zeros(size))
+            state.target = np.zeros(size)
+            states.append(state)
+        return states
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_fused_apply_updates_matches_marginal_state(self, seed):
+        """One matmul + one bincount == per-marginal ``apply_row_updates``."""
+        rng = np.random.default_rng(seed)
+        n, k = 300, 4
+        data = np.column_stack(
+            [
+                rng.integers(0, 5, n),
+                rng.integers(0, 4, n),
+                rng.integers(0, 3, n),
+                rng.integers(0, 3, n),
+            ]
+        ).astype(np.int32)
+        states = self._states(data)
+        twins = self._states(data)
+        for twin in twins:
+            twin.init_cache(data)
+
+        kernel = FusedKernel()
+        kernel.prepare(data, states)
+        kernel._jit = False  # pin the numpy fusion even on numba hosts
+        for state, twin in zip(states, twins):
+            assert np.array_equal(state.codes, twin.codes)
+            assert np.array_equal(state.counts, twin.counts)
+
+        rows = rng.choice(n, size=40, replace=False).astype(np.int64)
+        data[rows, 0] = rng.integers(0, 5, 40)
+        data[rows, 1] = rng.integers(0, 4, 40)
+        data[rows, 2] = rng.integers(0, 3, 40)
+        data[rows, 3] = rng.integers(0, 3, 40)
+
+        kernel._apply_updates(data, states, rows)
+        for twin in twins:
+            twin.apply_row_updates(rows, data[rows])
+        for state, twin in zip(states, twins):
+            assert np.array_equal(state.codes, twin.codes)
+            assert np.array_equal(state.counts, twin.counts)
+
+    def test_fused_digest_equality(self, fitted, reference_digests):
+        for shards in (1, 2, 3):
+            digest = fitted.sample(400, rng=9, shards=shards, kernel="fused")
+            assert digest.content_digest() == reference_digests[shards]
 
 
 class TestKernelConfigPersistence:

@@ -38,8 +38,14 @@ def digest(table) -> str:
 def _shm_segments() -> set:
     import os
 
+    # "psm_" is the stdlib's random prefix; "nds" is the engine's
+    # deterministic parent-worker-seq naming (repro.engine.shm).
     try:
-        return {name for name in os.listdir("/dev/shm") if name.startswith("psm_")}
+        return {
+            name
+            for name in os.listdir("/dev/shm")
+            if name.startswith(("psm_", "nds"))
+        }
     except FileNotFoundError:  # pragma: no cover - non-Linux
         return set()
 
@@ -53,6 +59,49 @@ def _failing_task(shared, seed):
     if seed == 1:
         raise RuntimeError("task boom")
     return _big_array_task(shared, seed)
+
+
+def _make_mixed_table(seed: int, n: int = 6000) -> TraceTable:
+    """A >64 KiB table with raw and dictionary-encodable columns."""
+    from repro.data.schema import FieldKind, FieldSpec, Schema
+
+    rng = np.random.default_rng(seed)
+    schema = Schema(
+        (
+            FieldSpec("a", FieldKind.NUMERIC),
+            FieldSpec("b", FieldKind.NUMERIC),
+            FieldSpec("proto", FieldKind.CATEGORICAL, categories=("tcp", "udp", "icmp")),
+        ),
+        "flow",
+    )
+    protos = np.array(["tcp", "udp", "icmp"], dtype=object)
+    return TraceTable(
+        schema,
+        {
+            "a": rng.integers(0, 2**40, size=n),
+            "b": rng.standard_normal(n),
+            "proto": protos[rng.integers(0, 3, size=n)],
+        },
+    )
+
+
+def _table_task(shared, seed):
+    """Worker task returning a whole TraceTable (exercises the arena path)."""
+    return _make_mixed_table(seed)
+
+
+def _export_then_die(shared, seed):
+    """Park a segment like a mid-export worker, then die without handing off."""
+    import os
+    import signal
+
+    from repro.engine import shm as shm_mod
+
+    seg = shm_mod._create_segment(1 << 16)
+    registered = getattr(seg, "_name", seg.name)
+    seg.close()
+    shm_mod._unregister(registered)
+    os.kill(os.getpid(), signal.SIGKILL)
 
 
 @pytest.fixture(scope="module")
@@ -258,6 +307,108 @@ class TestSharedBackend:
         out = runner.run_tasks(_big_array_task, [(5,)])
         assert np.array_equal(out[0], _big_array_task(None, 5))
         assert _shm_segments() == before
+
+
+class TestArenaDescriptorTransport:
+    """Tables cross the shared backend as (segment, slots) descriptors."""
+
+    def test_cross_process_table_round_trip(self):
+        import gc
+
+        from repro.data.arena import copy_stats
+
+        before = _shm_segments()
+        copy_stats.reset()
+        runner = get_backend("shared", max_workers=2)
+        out = runner.run_tasks(_table_task, [(7,), (8,)])
+        digests = [table.content_digest() for table in out]
+        assert digests == [
+            _make_mixed_table(seed).content_digest() for seed in (7, 8)
+        ]
+        # Raw columns and dict codes crossed as one segment each: no column
+        # ever traveled through pickle.
+        assert copy_stats.snapshot()["pickled_array_bytes"] == 0
+        del out
+        gc.collect()
+        assert _shm_segments() == before
+
+    def test_export_import_round_trip_in_process(self):
+        import gc
+
+        from repro.engine.shm import ShmTableArenaRef, export_table, import_table
+
+        before = _shm_segments()
+        table = _make_mixed_table(11)
+        ref = export_table(table)
+        assert isinstance(ref, ShmTableArenaRef)
+        assert ref.pickled_bytes == 0
+        # Handoff pending: the segment exists and survives the export side.
+        assert ref.name in _shm_segments() - before
+        out = import_table(ref)
+        assert out.content_digest() == table.content_digest()
+        # Deferred unlink: views alias the mapping, so the segment lives
+        # exactly as long as the imported table does.
+        assert ref.name in _shm_segments()
+        del out
+        gc.collect()
+        assert ref.name not in _shm_segments()
+
+    def test_small_table_pickles_through_whole(self):
+        from repro.engine.shm import export_table
+
+        small = _make_mixed_table(3, n=20)
+        assert export_table(small) is small
+
+    def test_killed_worker_segments_are_swept(self):
+        before = _shm_segments()
+        runner = get_backend("shared", max_workers=1)
+        with pytest.raises(Exception):  # noqa: B017 - BrokenProcessPool
+            runner.run_tasks(_export_then_die, [(0,)])
+        runner.close()
+        assert _shm_segments() == before
+
+    def test_sweep_spares_live_workers_segments(self):
+        import os
+        import subprocess
+        from multiprocessing import shared_memory
+
+        from repro.engine.shm import _unregister, sweep_orphan_segments
+
+        me = os.getpid()
+        proc = subprocess.Popen(["true"])
+        proc.wait()  # reaped: its pid no longer exists
+        names = {
+            "live": f"nds{me:x}-{me:x}-aaa1",
+            "dead": f"nds{me:x}-{proc.pid:x}-aaa1",
+        }
+        for name in names.values():
+            seg = shared_memory.SharedMemory(name=name, create=True, size=1024)
+            registered = getattr(seg, "_name", seg.name)
+            seg.close()
+            _unregister(registered)
+        try:
+            assert sweep_orphan_segments() >= 1
+            segments = _shm_segments()
+            assert names["live"] in segments
+            assert names["dead"] not in segments
+        finally:
+            try:
+                os.unlink(f"/dev/shm/{names['live']}")
+            except FileNotFoundError:
+                pass
+
+    def test_sharded_shared_sampling_ships_zero_pickled_column_bytes(self, fitted):
+        from repro.data.arena import copy_stats
+
+        # 1200-row shards keep each decoded table's arena above SHM_MIN_BYTES,
+        # so every shard must take the descriptor path.
+        expected = digest(fitted.sample(4800, rng=19, shards=4, backend="serial"))
+        copy_stats.reset()
+        got = digest(fitted.sample(4800, rng=19, shards=4, backend="shared"))
+        assert got == expected
+        snap = copy_stats.snapshot()
+        assert snap["pickled_array_bytes"] == 0
+        assert snap["arena_bytes_peak"] > 0
 
 
 class TestExecutePlanDecoded:
