@@ -1,0 +1,144 @@
+"""Reliability: recovery overhead and serving tails under injected faults.
+
+Two gated measurements over :mod:`repro.experiments.reliability`:
+
+- **recovery** — repeated sharded sampling with one injected worker kill in
+  the faulted series.  Every run (clean and recovered) is digest-checked
+  against the fault-free baseline, and ``overhead_ratio`` (faulted over
+  clean wall-clock) is gated: hard-asserted < 1.10 at full scale (>= 10k
+  fit, ~1% shard-fault rate), baseline-banded at smoke scale where the
+  shorter series makes the single recovery a larger fraction of the total.
+- **faulted serving** — closed-loop HTTP clients while ~1% of engine
+  executions raise injected faults.  Asserted at every scale: zero untyped
+  responses (each answer is a 200 or a 503/504 carrying a known error
+  code — never a bare 500, never a hang) and at least one fault actually
+  fired.  Client p99 under faults is gated against the committed baseline
+  and, at full scale, an absolute stall ceiling.
+
+Worker-kill injection requires the ``fork`` start method; elsewhere the
+recovery series runs fault-free and only the digest/overhead plumbing is
+exercised.
+
+Smoke mode (REPRO_BENCH_SMOKE=1, used by CI) shrinks the fit, the series
+length, and the client load.
+
+Runnable standalone: ``python benchmarks/bench_reliability.py [out.json]``.
+"""
+
+import json
+import sys
+
+from conftest import SMOKE, _env_int, attach, fmt
+
+from repro.experiments import reliability
+from repro.experiments.runner import ExperimentScale
+
+#: Sampling rounds per series.  Full scale targets ~1% shard faults (one
+#: kill over 25 rounds x 4 shards); smoke shortens the series for CI and
+#: leans on the baseline band instead of the hard overhead gate.
+DEFAULT_ROUNDS = 6 if SMOKE else 25
+
+#: Closed-loop clients / requests-per-client for the faulted HTTP leg.
+DEFAULT_CLIENTS = 4 if SMOKE else 8
+DEFAULT_REPS = 30 if SMOKE else 120
+
+#: Recovery-overhead hard gate at full scale (acceptance criterion: < 10%).
+OVERHEAD_GATE = 1.10
+
+#: Client-observed p99 stall ceiling under faults at full scale (ms).  A
+#: wedged breaker or a lost batch wakeup shows up as seconds, not percent.
+P99_CEILING_MS = 500.0
+
+#: Below this fit size per-shard work is too small for the overhead ratio
+#: to measure recovery rather than pool-rebuild constants.
+FULL_SCALE_THRESHOLD = 10_000
+
+
+def reliability_scale() -> ExperimentScale:
+    n_records = _env_int("REPRO_BENCH_RELIABILITY_RECORDS", 1_000 if SMOKE else 12_000)
+    return ExperimentScale(
+        n_records=n_records,
+        seed=_env_int("REPRO_BENCH_SEED", 0),
+    )
+
+
+def run_and_check_recovery(scale: ExperimentScale) -> dict:
+    full_scale = scale.n_records >= FULL_SCALE_THRESHOLD
+    result = reliability.run_recovery(
+        scale,
+        rounds=_env_int("REPRO_BENCH_RELIABILITY_ROUNDS", DEFAULT_ROUNDS),
+    )
+    m = result["measure"]
+    print(
+        f"[reliability] recovery rounds={m['rounds']} shards={m['shards']}  "
+        f"clean={fmt(m['clean_seconds'])}s faulted={fmt(m['faulted_seconds'])}s  "
+        f"overhead={fmt(m['overhead_ratio'])}x  kills={m['fault_firings']} "
+        f"(shard_fault_rate={fmt(m['shard_fault_rate'])})"
+    )
+    assert result["bit_identical"], "a recovered run diverged from the clean digest"
+    if result["fork"]:
+        assert m["fault_firings"] >= 1, "the worker-kill fault never fired"
+    if full_scale and result["fork"]:
+        assert m["overhead_ratio"] <= OVERHEAD_GATE, (
+            f"recovery overhead {m['overhead_ratio']:.3f}x exceeds the "
+            f"{OVERHEAD_GATE}x gate at ~{m['shard_fault_rate']:.1%} shard faults"
+        )
+    return result
+
+
+def run_and_check_faulted(scale: ExperimentScale) -> dict:
+    result = reliability.run_faulted_http(
+        scale,
+        clients=_env_int("REPRO_BENCH_RELIABILITY_CLIENTS", DEFAULT_CLIENTS),
+        reps=_env_int("REPRO_BENCH_RELIABILITY_REPS", DEFAULT_REPS),
+    )
+    m = result["measure"]
+    full_scale = scale.n_records >= FULL_SCALE_THRESHOLD
+    print(
+        f"[reliability] faulted-http {m['queries_per_second']:>7.0f} q/s  "
+        f"p50={fmt(m['p50_ms'])}ms p99={fmt(m['p99_ms'])}ms  "
+        f"faults={m['fault_firings']}/{m['requests']}  "
+        f"statuses={result['statuses']}"
+    )
+    assert not result["untyped_responses"], (
+        f"untyped fault responses leaked to clients: {result['untyped_responses']}"
+    )
+    assert m["fault_firings"] >= 1, "no engine fault fired during the faulted run"
+    assert result["statuses"].get("200", 0) > 0, "no request succeeded under faults"
+    if full_scale:
+        assert m["p99_ms"] <= P99_CEILING_MS, (
+            f"faulted p99 {m['p99_ms']:.0f}ms exceeds the {P99_CEILING_MS:.0f}ms ceiling"
+        )
+    return result
+
+
+def test_reliability_recovery(benchmark):
+    scale = reliability_scale()
+    result = benchmark.pedantic(
+        lambda: run_and_check_recovery(scale), rounds=1, iterations=1, warmup_rounds=0
+    )
+    attach(benchmark, result)
+
+
+def test_http_faulted(benchmark):
+    scale = reliability_scale()
+    result = benchmark.pedantic(
+        lambda: run_and_check_faulted(scale), rounds=1, iterations=1, warmup_rounds=0
+    )
+    attach(benchmark, result)
+
+
+if __name__ == "__main__":
+    scale = reliability_scale()
+    payload = {
+        "recovery": run_and_check_recovery(scale),
+        "faulted_http": run_and_check_faulted(scale),
+    }
+    out_path = sys.argv[1] if len(sys.argv) > 1 else None
+    text = json.dumps(payload, indent=2, default=float)
+    if out_path:
+        with open(out_path, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {out_path}")
+    else:
+        print(text)

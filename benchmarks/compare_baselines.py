@@ -116,6 +116,23 @@ GATED_RESULT_METRICS = {
         ("configs", "batched", "p50_ms"),
         "lower",
     ),
+    # Reliability: recovery overhead is a same-run ratio (kill-faulted
+    # sampling series over the clean series, digest-checked every round), so
+    # it is machine-stable and keeps the tight band; a regression means shard
+    # resubmission started re-running more than the killed shard (or pool
+    # rebuild got expensive).  Faulted p99 is what a client waits under ~1%
+    # engine faults — absolute, so it takes the wide band; the benchmark
+    # itself hard-asserts the typed-response invariant at every scale.
+    "reliability.recovery_overhead": (
+        "test_reliability_recovery",
+        ("measure", "overhead_ratio"),
+        "lower",
+    ),
+    "serve_http.faulted.p99_ms": (
+        "test_http_faulted",
+        ("measure", "p99_ms"),
+        "lower",
+    ),
 }
 
 #: Absolute-throughput metrics depend on the machine the baseline was pinned

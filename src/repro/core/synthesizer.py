@@ -71,7 +71,13 @@ def _fit_executor(engine: EngineConfig | None):
     if engine is None:
         return None, None, None
     workers = engine.max_workers or (os.cpu_count() or 1)
-    return get_backend(engine.backend, max_workers=workers), engine.backend, workers
+    backend = get_backend(
+        engine.backend,
+        max_workers=workers,
+        task_timeout=engine.task_timeout,
+        retry=engine.max_task_retries,
+    )
+    return backend, engine.backend, workers
 
 
 @dataclass(frozen=True)
@@ -377,7 +383,12 @@ class NetDPSyn:
         engine = self.config.engine
         name = backend or engine.backend
         workers = max_workers if max_workers is not None else engine.max_workers
-        pool = get_backend(name, workers)
+        pool = get_backend(
+            name,
+            workers,
+            task_timeout=engine.task_timeout,
+            retry=engine.max_task_retries,
+        )
         pool.open(self.plan())
         self._session_backend = pool
         try:

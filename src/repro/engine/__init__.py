@@ -40,6 +40,7 @@ from repro.engine.streaming import (
     execute_plan_decoded,
     execute_plan_stream,
 )
+from repro.reliability import ShardTaskError
 
 __all__ = [
     "BACKENDS",
@@ -52,6 +53,7 @@ __all__ = [
     "ProcessBackend",
     "SerialBackend",
     "ShardResult",
+    "ShardTaskError",
     "SharedMemoryBackend",
     "SynthesisPlan",
     "ThreadBackend",

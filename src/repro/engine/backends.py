@@ -27,7 +27,7 @@ import abc
 import multiprocessing
 import threading
 from collections import deque
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -38,6 +38,18 @@ from repro.engine.shm import (
     import_result,
     release_result,
     sweep_orphan_segments,
+)
+from repro.reliability import (
+    FaultError,
+    RetryPolicy,
+    ShardTaskError,
+    remote_traceback_of,
+)
+from repro.reliability.faults import (
+    KIND_DROP_SHM,
+    SITE_SHARD,
+    SITE_SHM_EXPORT,
+    maybe_fire,
 )
 
 if TYPE_CHECKING:  # import would cycle through plan -> synthesis -> marginals
@@ -69,7 +81,15 @@ def _call_task(fn, args):
 
 def _call_task_shm(fn, args):
     """Like :func:`_call_task`, but park large array results in shared memory."""
-    return export_result(fn(_TASK_SHARED, *args))
+    out = export_result(fn(_TASK_SHARED, *args))
+    # Chaos hook: a ``drop_shm`` fault simulates the segment vanishing
+    # between the worker's export and the parent's import — the handles
+    # still travel, but the import raises FileNotFoundError (the real
+    # symptom), which the parent treats as transient and retries.
+    spec = maybe_fire(SITE_SHM_EXPORT)
+    if spec is not None and spec.kind == KIND_DROP_SHM:
+        release_result(out)
+    return out
 
 
 def _run_shard_task(
@@ -80,6 +100,7 @@ def _run_shard_task(
     kernel: str,
 ) -> ShardResult:
     """GUM shard synthesis as a ``run_tasks`` task; ``shared`` is the plan."""
+    maybe_fire(SITE_SHARD, index=index)
     return plan.run_shard(n, rng, index=index, kernel=kernel)
 
 
@@ -92,16 +113,39 @@ def _run_decoded_shard_task(
     kernel: str,
 ):
     """Shard synthesis *plus decode* as one task (the streaming hot path)."""
+    maybe_fire(SITE_SHARD, index=index)
     return plan.run_shard_decoded(n, rng, decode_rng, index=index, kernel=kernel)
 
 
 class Backend(abc.ABC):
-    """A strategy for running independent, order-indexed jobs."""
+    """A strategy for running independent, order-indexed jobs.
+
+    ``task_timeout`` bounds how long the caller waits on any one task
+    result; ``retry`` is the :class:`~repro.reliability.RetryPolicy`
+    governing resubmission after *transient* faults (worker death, task
+    timeout, vanished shm segment).  Because every task is a pure function
+    of its arguments — engine shard tasks carry their own pre-spawned
+    ``SeedSequence``-child generator in the task tuple — a resubmitted task
+    reproduces its original result bit-for-bit, so retrying never changes
+    what a run computes, only whether it survives.  Both knobs only bind on
+    the process-pool backends; in-process backends have no worker to lose.
+    """
 
     name: str = "abstract"
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        task_timeout: float | None = None,
+        retry: "RetryPolicy | int | None" = None,
+    ) -> None:
         self.max_workers = max_workers
+        self.task_timeout = task_timeout
+        if retry is None:
+            retry = RetryPolicy()
+        elif not isinstance(retry, RetryPolicy):
+            retry = RetryPolicy(max_retries=int(retry))
+        self.retry = retry
 
     @abc.abstractmethod
     def run_tasks(self, fn, tasks: list[tuple], shared=None) -> list:
@@ -228,8 +272,13 @@ class ProcessBackend(Backend):
     #: the pool can pickle it.
     _caller = staticmethod(_call_task)
 
-    def __init__(self, max_workers: int | None = None) -> None:
-        super().__init__(max_workers)
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        task_timeout: float | None = None,
+        retry: "RetryPolicy | int | None" = None,
+    ) -> None:
+        super().__init__(max_workers, task_timeout=task_timeout, retry=retry)
         self._pool: ProcessPoolExecutor | None = None
         self._pool_shared = None
 
@@ -304,31 +353,168 @@ class ProcessBackend(Backend):
             self._pool_shared = None
 
     def _pool_for(self, shared, n_tasks: int) -> tuple[ProcessPoolExecutor, bool]:
-        """The persistent pool when it carries ``shared``, else a fresh one."""
+        """The persistent pool when it carries ``shared``, else a fresh one.
+
+        A persistent pool that broke under a previous call (a worker died
+        and the failure escaped past recovery) is rebuilt in place before
+        reuse, so one faulted run never poisons the next.
+        """
         if self._pool is not None and shared is self._pool_shared:
+            if getattr(self._pool, "_broken", False):
+                self._kill_pool(self._pool)
+                self._after_failure()
+                workers = self.max_workers or (multiprocessing.cpu_count() or 1)
+                self._pool = self._make_pool(workers, shared)
             return self._pool, True
         return self._make_pool(self._workers(n_tasks), shared), False
+
+    # -------------------------------------------------------------- recovery
+    @staticmethod
+    def _transient(exc: BaseException) -> bool:
+        """Failures worth resubmitting: the *worker* died, stalled, or lost a
+        result in transit — never the task function raising, which would
+        deterministically raise again."""
+        return isinstance(exc, (TimeoutError, BrokenExecutor, FaultError))
+
+    def _shard_error(
+        self, index: int, exc: BaseException, attempts: int, transient: bool = False
+    ) -> ShardTaskError:
+        kind = "transient fault" if transient else "failure"
+        return ShardTaskError(
+            f"task {index} failed after {attempts} attempt(s) "
+            f"({kind}: {type(exc).__name__}: {exc})",
+            index=index,
+            attempts=attempts,
+            transient=transient,
+            remote_traceback=remote_traceback_of(exc),
+        )
+
+    def _kill_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Tear down a broken or hung pool without waiting for its tasks."""
+        procs = list((getattr(pool, "_processes", None) or {}).values())
+        for proc in procs:
+            try:
+                proc.terminate()
+            except Exception:  # pragma: no cover - process already reaped
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - SIGTERM was ignored
+                proc.kill()
+                proc.join(timeout=1.0)
+
+    def _after_failure(self) -> None:
+        """Post-teardown hook (the shm subclass sweeps orphan segments)."""
+
+    def _rebuild(
+        self, pool: ProcessPoolExecutor, reuse: bool, shared, n_tasks: int
+    ) -> tuple[ProcessPoolExecutor, bool]:
+        """Kill a faulted pool, reclaim its leftovers, stand up a successor.
+
+        A persistent pool is replaced *as* the persistent pool (still bound
+        to its payload), so recovery is invisible to ``open()``/``close()``
+        callers.
+        """
+        self._kill_pool(pool)
+        self._after_failure()
+        if reuse:
+            workers = self.max_workers or (multiprocessing.cpu_count() or 1)
+            self._pool = self._make_pool(workers, shared)
+            self._pool_shared = shared
+            return self._pool, True
+        return self._make_pool(self._workers(n_tasks), shared), False
+
+    def _dispose(self, pool: ProcessPoolExecutor, reuse: bool) -> None:
+        """Final teardown after giving up on a faulted pool."""
+        self._kill_pool(pool)
+        self._after_failure()
+        if reuse:
+            self._pool = None
+            self._pool_shared = None
+
+    def _consume(self, futures: list, results: list, tries: dict):
+        """Wait for every submitted ``(index, future)`` pair, in index order.
+
+        Successful results are finished (shm handles imported) here,
+        *before* any pool teardown — the recovery path's orphan sweep would
+        otherwise destroy completed-but-unimported segments.  Returns
+        ``(failed_indices, (index, cause))`` on transient faults (the listed
+        tasks must be resubmitted); raises :class:`ShardTaskError` outright
+        when a task function failed deterministically.
+        """
+        failed: list[int] = []
+        cause = None
+        salvage = False
+        for pos, (idx, future) in enumerate(futures):
+            if salvage and not future.done():
+                # Already giving up on this pool; whatever is still running
+                # dies with it and reruns on the successor.
+                failed.append(idx)
+                continue
+            try:
+                raw = future.result(timeout=self.task_timeout)
+            except Exception as exc:
+                if self._transient(exc):
+                    if cause is None:
+                        cause = (idx, exc)
+                    failed.append(idx)
+                    salvage = True
+                    continue
+                self._drain(f for _, f in futures[pos + 1 :])
+                raise self._shard_error(idx, exc, tries[idx]) from exc
+            try:
+                results[idx] = self._finish(raw)
+            except FileNotFoundError as exc:
+                # The segment behind a completed task vanished before import:
+                # rerun just that task.
+                if cause is None:
+                    cause = (idx, exc)
+                failed.append(idx)
+        return failed, cause
 
     def run_tasks(self, fn, tasks, shared=None):
         if not tasks:
             return []
         pool, reuse = self._pool_for(shared, len(tasks))
-        futures: list = []
-        done = 0
-        consuming = False
+        results = [None] * len(tasks)
+        remaining = list(range(len(tasks)))
+        tries = dict.fromkeys(remaining, 0)
+        round_no = 0
         try:
-            futures = [self._submit_one(pool, shared, fn, task) for task in tasks]
-            consuming = True
-            out = []
-            for future in futures:
-                out.append(self._finish(future.result()))
-                done += 1
-            return out
+            while remaining:
+                futures = []
+                submit_exc = None
+                for idx in remaining:
+                    try:
+                        futures.append(
+                            (idx, self._submit_one(pool, shared, fn, tasks[idx]))
+                        )
+                    except BrokenExecutor as exc:
+                        # The pool died while the round was still being fed;
+                        # everything unsubmitted joins the retry round.
+                        submit_exc = exc
+                        break
+                    tries[idx] += 1
+                failed, cause = self._consume(futures, results, tries)
+                if submit_exc is not None:
+                    failed = failed + remaining[len(futures) :]
+                    if cause is None:
+                        cause = (remaining[len(futures)], submit_exc)
+                if not failed:
+                    break
+                index, exc = cause
+                round_no += 1
+                if not self.retry.retryable(round_no):
+                    self._dispose(pool, reuse)
+                    raise self._shard_error(
+                        index, exc, tries[index], transient=True
+                    ) from exc
+                pool, reuse = self._rebuild(pool, reuse, shared, len(failed))
+                self.retry.sleep(round_no)
+                remaining = failed
+            return results
         finally:
-            # On an exception mid-consumption, futures[done] is the one that
-            # raised (its payload failed or was partially finished); every
-            # later future may still hold an unconsumed exported result.
-            self._drain(futures[done + 1 if consuming else 0:])
             if not reuse:
                 pool.shutdown()
 
@@ -338,19 +524,82 @@ class ProcessBackend(Backend):
             return
         window = self._window(window)
         pool, reuse = self._pool_for(shared, len(tasks))
-        pending: deque = deque()
+        pending: deque = deque()  # (index, future), always in index order
+        ready: dict = {}  # results recovered ahead of their emission turn
+        tries: dict[int, int] = {}
+        emit = 0
+        submit = 0
+        round_no = 0
         try:
-            for task in tasks:
-                pending.append(self._submit_one(pool, shared, fn, task))
-                while len(pending) >= window:
-                    yield self._finish(pending.popleft().result())
-            while pending:
-                yield self._finish(pending.popleft().result())
+            while emit < len(tasks):
+                if emit in ready:
+                    yield ready.pop(emit)
+                    emit += 1
+                    continue
+                fault = None  # (index, exc) of this turn's transient fault
+                try:
+                    # Fill the window.  A submit-time BrokenExecutor means a
+                    # worker died while the pool was still being fed; it is
+                    # recovered exactly like a mid-task death.
+                    while submit < len(tasks) and len(pending) < window:
+                        future = self._submit_one(pool, shared, fn, tasks[submit])
+                        tries[submit] = tries.get(submit, 0) + 1
+                        pending.append((submit, future))
+                        submit += 1
+                except BrokenExecutor as exc:
+                    tries.setdefault(submit, 0)
+                    fault = (submit, exc)
+                if fault is None:
+                    idx, future = pending[0]
+                    try:
+                        raw = future.result(timeout=self.task_timeout)
+                    except Exception as exc:
+                        if not self._transient(exc):
+                            pending.popleft()
+                            raise self._shard_error(idx, exc, tries[idx]) from exc
+                        fault = (idx, exc)
+                    else:
+                        pending.popleft()
+                        try:
+                            ready[idx] = self._finish(raw)
+                            continue
+                        except FileNotFoundError as exc:
+                            # The segment behind the head result vanished
+                            # before import; requeue its future so the
+                            # salvage pass below classifies it for rerun.
+                            pending.appendleft((idx, future))
+                            fault = (idx, exc)
+                # Transient fault: salvage in-window siblings that finished
+                # before the fault (importing their shm results *pre-sweep*),
+                # then rerun everything else on a fresh pool.
+                index, exc = fault
+                round_no += 1
+                if not self.retry.retryable(round_no):
+                    pending.clear()
+                    self._dispose(pool, reuse)
+                    raise self._shard_error(
+                        index, exc, tries.get(index, 1), transient=True
+                    ) from exc
+                refire: list[int] = []
+                for j, f in pending:
+                    if f.done():
+                        try:
+                            ready[j] = self._finish(f.result())
+                            continue
+                        except Exception:
+                            pass
+                    refire.append(j)
+                pending.clear()
+                pool, reuse = self._rebuild(pool, reuse, shared, max(len(refire), 1))
+                self.retry.sleep(round_no)
+                for j in refire:
+                    tries[j] += 1
+                    pending.append((j, self._submit_one(pool, shared, fn, tasks[j])))
         finally:
             # Runs when the consumer abandons the generator (GeneratorExit)
             # or a task raises: the in-flight futures must still be reaped so
             # exported shm results are released, not leaked.
-            self._drain(pending)
+            self._drain(f for _, f in pending)
             if not reuse:
                 pool.shutdown()
 
@@ -389,6 +638,12 @@ class SharedMemoryBackend(ProcessBackend):
         path.  Live workers' segments are never touched.
         """
         super()._drain(futures)
+        sweep_orphan_segments()
+
+    def _after_failure(self) -> None:
+        """Recovery hook: reclaim segments orphaned by the workers that just
+        died.  Runs strictly after :meth:`_consume` imported the survivors,
+        so only results nobody will ever import are destroyed."""
         sweep_orphan_segments()
 
     def close(self) -> None:
@@ -431,11 +686,22 @@ _BACKEND_CLASSES = {
 }
 
 
-def get_backend(name: str, max_workers: int | None = None) -> Backend:
+def get_backend(
+    name: str,
+    max_workers: int | None = None,
+    *,
+    task_timeout: float | None = None,
+    retry: "RetryPolicy | int | None" = None,
+) -> Backend:
     """Instantiate a backend by name (``serial``, ``thread``, ``process``,
-    ``shared``)."""
+    ``shared``).
+
+    ``task_timeout`` bounds the wait on any single task result;
+    ``retry`` (a :class:`~repro.reliability.RetryPolicy`, or an int for
+    ``max_retries``) governs resubmission after transient worker faults.
+    """
     try:
         cls = _BACKEND_CLASSES[name]
     except KeyError:
         raise ValueError(f"backend must be one of {BACKENDS}, got {name!r}") from None
-    return cls(max_workers=max_workers)
+    return cls(max_workers=max_workers, task_timeout=task_timeout, retry=retry)

@@ -55,6 +55,15 @@ class EngineConfig:
     #: which is also why a persisted model carrying ``kernel="numba"`` can
     #: sample on a host without numba (resolution falls back).
     kernel: str = "auto"
+    #: Per-task result timeout (seconds) for the process/shared backends; a
+    #: shard that exceeds it is treated as a hung worker and resubmitted.
+    #: ``None`` (default) waits indefinitely.
+    task_timeout: float | None = None
+    #: How many times a shard may be resubmitted after a *transient* fault
+    #: (dead worker, task timeout, vanished shm segment).  Resubmission
+    #: re-runs the shard on its original ``SeedSequence`` child, so retried
+    #: runs stay bit-identical to fault-free ones.  ``0`` disables retry.
+    max_task_retries: int = 2
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -71,6 +80,21 @@ class EngineConfig:
         self.shards = _positive_int("shards", self.shards)
         if self.max_workers is not None:
             self.max_workers = _positive_int("max_workers", self.max_workers)
+        if self.task_timeout is not None:
+            timeout = float(self.task_timeout)
+            if timeout <= 0:
+                raise ValueError(f"task_timeout must be > 0, got {self.task_timeout}")
+            self.task_timeout = timeout
+        retries = self.max_task_retries
+        if isinstance(retries, bool) or not isinstance(retries, numbers.Integral):
+            raise ValueError(
+                f"max_task_retries must be an integer >= 0, got {retries!r}"
+            )
+        self.max_task_retries = int(retries)
+        if self.max_task_retries < 0:
+            raise ValueError(
+                f"max_task_retries must be an integer >= 0, got {retries}"
+            )
 
     def override(
         self,
@@ -78,6 +102,8 @@ class EngineConfig:
         backend: str | None = None,
         max_workers: int | None = None,
         kernel: str | None = None,
+        task_timeout: float | None = None,
+        max_task_retries: int | None = None,
     ) -> "EngineConfig":
         """A validated copy with per-call overrides applied (``None`` keeps
         the field)."""
@@ -86,4 +112,8 @@ class EngineConfig:
             shards=self.shards if shards is None else shards,
             max_workers=self.max_workers if max_workers is None else max_workers,
             kernel=self.kernel if kernel is None else kernel,
+            task_timeout=self.task_timeout if task_timeout is None else task_timeout,
+            max_task_retries=(
+                self.max_task_retries if max_task_retries is None else max_task_retries
+            ),
         )

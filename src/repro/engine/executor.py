@@ -162,7 +162,12 @@ def execute_plan(
 
     shard_rngs, decode_rng = _derive_streams(rng, config.shards)
     if backend is None:
-        backend = get_backend(config.backend, config.max_workers)
+        backend = get_backend(
+            config.backend,
+            config.max_workers,
+            task_timeout=config.task_timeout,
+            retry=config.max_task_retries,
+        )
 
     timer = Timer()
     timer.start()

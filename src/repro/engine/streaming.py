@@ -166,7 +166,12 @@ def execute_plan_decoded(
     if config.shards == 1:
         return _legacy_decoded(plan, config, n, rng, backend)
     if backend is None:
-        backend = get_backend(config.backend, config.max_workers)
+        backend = get_backend(
+            config.backend,
+            config.max_workers,
+            task_timeout=config.task_timeout,
+            retry=config.max_task_retries,
+        )
     tasks, sizes, kernel = _decoded_tasks(plan, config, n, rng)
     timer = Timer()
     timer.start()
@@ -230,7 +235,12 @@ def _stream_chunks(
 
     own_backend = backend is None
     if own_backend:
-        backend = get_backend(config.backend, config.max_workers)
+        backend = get_backend(
+            config.backend,
+            config.max_workers,
+            task_timeout=config.task_timeout,
+            retry=config.max_task_retries,
+        )
     tasks, sizes, kernel = _decoded_tasks(plan, config, n, rng)
     timer = Timer()
     timer.start()

@@ -23,6 +23,7 @@ from repro.experiments import (
     fig2_sketch,
     fit_scaling,
     http_serving,
+    reliability,
     serving,
     stream_throughput,
     fig3_classification,
@@ -59,6 +60,7 @@ EXPERIMENTS = {
     "streamscale": lambda s: stream_throughput.run(s),
     "serve": lambda s: serving.run(s),
     "servehttp": lambda s: http_serving.run(s),
+    "reliability": lambda s: reliability.run(s),
     "ablations": lambda s: {
         "allocation": ablations.run_allocation(s),
         "binning": ablations.run_binning_threshold(s),

@@ -1,0 +1,139 @@
+"""CircuitBreaker: stop hammering a failing dependency, probe for recovery.
+
+Classic three-state breaker, thread-safe, monotonic-clock driven:
+
+- **closed** — calls flow; consecutive failures are counted and
+  ``failure_threshold`` of them trip the breaker open (any success resets
+  the count).
+- **open** — calls are refused (:meth:`allow` returns ``False``) until
+  ``reset_timeout`` has elapsed, at which point the breaker half-opens.
+- **half-open** — up to ``half_open_max`` probe calls are admitted; one
+  success closes the breaker, one failure re-opens it (and restarts the
+  reset clock).
+
+The serving tier wraps engine execution with one breaker: while open it
+serves cached or marginal-path answers instead of queuing more work onto a
+failing engine — availability over freshness, never over correctness.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with timed half-open probing."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        half_open_max: int = 1,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if reset_timeout < 0:
+            raise ValueError(f"reset_timeout must be >= 0, got {reset_timeout}")
+        if half_open_max < 1:
+            raise ValueError(f"half_open_max must be >= 1, got {half_open_max}")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self.half_open_max = int(half_open_max)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = STATE_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probes_in_flight = 0
+        # Lifetime counters (observability / chaos assertions).
+        self.failures = 0
+        self.successes = 0
+        self.opens = 0
+        self.rejections = 0
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def retry_after(self) -> float:
+        """Seconds until the breaker will admit a probe (0 when it already
+        would)."""
+        with self._lock:
+            if self._state != STATE_OPEN or self._opened_at is None:
+                return 0.0
+            return max(self.reset_timeout - (self._clock() - self._opened_at), 0.0)
+
+    # ------------------------------------------------------------- transitions
+    def _maybe_half_open(self) -> None:
+        """Open -> half-open once the reset timeout has elapsed (lock held)."""
+        if (
+            self._state == STATE_OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = STATE_HALF_OPEN
+            self._probes_in_flight = 0
+
+    def allow(self) -> bool:
+        """Whether one call may proceed right now.
+
+        Half-open admissions count as probes: callers that were admitted
+        MUST report back through :meth:`record_success` or
+        :meth:`record_failure`, otherwise the probe slot stays occupied.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == STATE_CLOSED:
+                return True
+            if self._state == STATE_HALF_OPEN and self._probes_in_flight < self.half_open_max:
+                self._probes_in_flight += 1
+                return True
+            self.rejections += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.successes += 1
+            self._consecutive_failures = 0
+            if self._state == STATE_HALF_OPEN:
+                self._state = STATE_CLOSED
+                self._probes_in_flight = 0
+            self._opened_at = None
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failures += 1
+            self._consecutive_failures += 1
+            if self._state == STATE_HALF_OPEN or (
+                self._state == STATE_CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                if self._state != STATE_OPEN:
+                    self.opens += 1
+                self._state = STATE_OPEN
+                self._opened_at = self._clock()
+                self._probes_in_flight = 0
+
+    # ------------------------------------------------------------------ stats
+    def stats(self) -> dict:
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "reset_timeout_seconds": self.reset_timeout,
+                "failures": self.failures,
+                "successes": self.successes,
+                "opens": self.opens,
+                "rejections": self.rejections,
+            }

@@ -1,0 +1,90 @@
+"""Typed failures of the reliability layer.
+
+These are the *engine-facing* exception types: they say what went wrong in
+execution terms (a shard task died, a deadline lapsed, a breaker is open)
+and carry enough structure — shard index, attempt count, the remote
+traceback text — for a caller to attribute and react.  The serving tier
+maps them onto its own wire taxonomy (:mod:`repro.serving.errors`); nothing
+here knows about HTTP.
+"""
+
+from __future__ import annotations
+
+
+class ReliabilityError(RuntimeError):
+    """Base of the reliability-layer failures."""
+
+
+class FaultError(ReliabilityError):
+    """An *injected* fault fired (see :mod:`repro.reliability.faults`).
+
+    Raised by ``kind="error"`` fault specs at their trigger point.  The
+    execution layer treats it as transient — exactly like a real worker
+    fault — so chaos tests exercise the same retry paths production faults
+    take.
+    """
+
+
+class DeadlineExceeded(ReliabilityError):
+    """An operation ran past its :class:`~repro.reliability.policy.Deadline`."""
+
+    def __init__(self, message: str, remaining: float = 0.0) -> None:
+        super().__init__(message)
+        self.remaining = float(remaining)
+
+
+class CircuitOpenError(ReliabilityError):
+    """A :class:`~repro.reliability.breaker.CircuitBreaker` refused the call.
+
+    ``retry_after`` is the seconds until the breaker will admit a probe.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = max(float(retry_after), 0.0)
+
+
+class ShardTaskError(ReliabilityError):
+    """A backend task failed, with full shard attribution.
+
+    Wraps every exception that crosses :meth:`Backend.run_tasks` /
+    :meth:`Backend.imap_tasks` out of a worker: ``index`` is the failed
+    task's position in the submitted task list (the shard index for engine
+    runs), ``attempts`` how many times the task was tried, ``transient``
+    whether the failure class was retryable (worker death, timeout, vanished
+    shm segment) or deterministic (the task function raised).  The original
+    exception chains as ``__cause__``; ``remote_traceback`` preserves the
+    worker-side traceback text when one crossed the pipe, so a failure in a
+    forked shard is as debuggable as an inline one.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        index: int | None = None,
+        attempts: int = 1,
+        transient: bool = False,
+        remote_traceback: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.index = index
+        self.attempts = int(attempts)
+        self.transient = bool(transient)
+        self.remote_traceback = remote_traceback
+
+
+def remote_traceback_of(exc: BaseException) -> str | None:
+    """The worker-side traceback text attached to a pool exception, if any.
+
+    ``concurrent.futures`` chains a ``_RemoteTraceback`` (whose ``str`` is
+    the formatted worker traceback) onto exceptions re-raised in the parent;
+    this digs it out without depending on the private class.
+    """
+    seen = set()
+    node = exc
+    while node is not None and id(node) not in seen:
+        seen.add(id(node))
+        if type(node).__name__ == "_RemoteTraceback":
+            return str(node)
+        node = node.__cause__ or node.__context__
+    return None

@@ -27,10 +27,15 @@ from repro.serving.engine import (
 )
 from repro.serving.errors import (
     AuthenticationError,
+    CircuitOpen,
+    EngineFaultError,
     ModelNotFound,
+    ModelUnavailable,
     QueryValidationError,
     QuotaExceeded,
+    RequestDeadlineExceeded,
     SchemaVersionError,
+    ServiceOverloaded,
     ServingError,
 )
 from repro.serving.queries import (
@@ -73,12 +78,15 @@ __all__ = [
     "AnswerCache",
     "ApiKeyAuth",
     "AuthenticationError",
+    "CircuitOpen",
     "DEFAULT_BYTE_BUDGET",
     "DEFAULT_SAMPLE_RECORDS",
+    "EngineFaultError",
     "MODEL_SUFFIX",
     "MicroBatcher",
     "ModelNotFound",
     "ModelRegistry",
+    "ModelUnavailable",
     "OpenAccess",
     "PROVENANCE_MARGINAL",
     "PROVENANCE_SAMPLE",
@@ -90,9 +98,11 @@ __all__ = [
     "QueryValidationError",
     "QuotaExceeded",
     "RegistryStats",
+    "RequestDeadlineExceeded",
     "SCHEMA_VERSION",
     "SchemaVersionError",
     "ServiceConfig",
+    "ServiceOverloaded",
     "ServingError",
     "Tenant",
     "TokenBucket",

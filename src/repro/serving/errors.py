@@ -87,6 +87,70 @@ class QuotaExceeded(ServingError):
         return self.details["retry_after"]
 
 
+class _RetryableServingError(ServingError):
+    """Shared shape of the 5xx errors that carry a ``Retry-After`` hint.
+
+    These are *transient, server-side* conditions: the request was valid,
+    the server just cannot serve it right now.  Retrying is always safe —
+    query answering is pure post-processing of published noisy marginals,
+    so a resubmission spends no additional privacy budget.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message, details={"retry_after": round(float(retry_after), 3)})
+
+    @property
+    def retry_after(self) -> float:
+        return self.details["retry_after"]
+
+
+class ServiceOverloaded(_RetryableServingError):
+    """Load shedding: the in-flight request cap is reached, and queueing
+    further work would only grow tail latency.  Clients should back off
+    ``retry_after`` seconds and resubmit."""
+
+    code = "overloaded"
+    http_status = 503
+
+
+class ModelUnavailable(_RetryableServingError):
+    """The model file exists but cannot be loaded right now (corrupt or
+    mid-rewrite), and no previously-loaded generation is cached to fall back
+    on.  Distinct from :class:`ModelNotFound` (no such file -> 404): the 503
+    + ``Retry-After`` tells clients the condition is transient — typically
+    an atomic re-deploy completing."""
+
+    code = "model_unavailable"
+    http_status = 503
+
+
+class CircuitOpen(_RetryableServingError):
+    """The engine circuit breaker is open (repeated engine faults) and the
+    request could not be served from cache or the marginal-only degraded
+    path.  ``retry_after`` is when the breaker will next admit a probe."""
+
+    code = "circuit_open"
+    http_status = 503
+
+
+class EngineFaultError(ServingError):
+    """Query execution failed server-side (an engine fault, not a client
+    error).  Counted against the circuit breaker; safe to retry."""
+
+    code = "engine_fault"
+    http_status = 503
+
+
+class RequestDeadlineExceeded(ServingError):
+    """The request ran past its deadline (the service default or the
+    client's ``X-Request-Deadline-Ms``).  The 504 is definitive: the answer
+    was not delivered, though a retried identical query may well hit the
+    answer cache."""
+
+    code = "deadline_exceeded"
+    http_status = 504
+
+
 def error_from_exception(exc: BaseException) -> ServingError:
     """Coerce any exception into the taxonomy (for the wire boundary).
 
@@ -94,8 +158,18 @@ def error_from_exception(exc: BaseException) -> ServingError:
     equivalents; anything else becomes an opaque ``ServingError`` so a
     handler bug can never leak a traceback to a client.
     """
+    # Imported here (not at module top) purely to keep this module's public
+    # surface import-light; repro.reliability has no serving dependencies.
+    from repro import reliability
+
     if isinstance(exc, ServingError):
         return exc
+    if isinstance(exc, reliability.DeadlineExceeded):
+        return RequestDeadlineExceeded(str(exc))
+    if isinstance(exc, reliability.CircuitOpenError):
+        return CircuitOpen(str(exc), retry_after=exc.retry_after)
+    if isinstance(exc, reliability.ReliabilityError):
+        return EngineFaultError(f"{type(exc).__name__}: {exc}")
     if isinstance(exc, FileNotFoundError):
         return ModelNotFound(str(exc))
     if isinstance(exc, (KeyError, LookupError, ValueError, TypeError)):

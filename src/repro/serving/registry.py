@@ -27,6 +27,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.reliability import SITE_MODEL_LOAD, maybe_fire
 from repro.serving.engine import QueryEngine
 
 #: Default cache budget: plenty for dozens of laptop-scale models; size it
@@ -38,12 +39,22 @@ MODEL_SUFFIX = ".ndpsyn"
 
 @dataclass
 class RegistryStats:
-    """Counters for observability (and the eviction/hot-reload tests)."""
+    """Counters for observability (and the eviction/hot-reload tests).
+
+    ``load_failures``/``stale_serves``/``last_load_error`` are the
+    reload-failure-isolation evidence trail: a corrupt or mid-rewrite model
+    file bumps ``load_failures`` and, when a previous generation is cached,
+    every request served from it bumps ``stale_serves`` — visible in
+    ``/v1/stats`` instead of surfacing as a 500.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     reloads: int = 0
+    load_failures: int = 0
+    stale_serves: int = 0
+    last_load_error: str | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -51,6 +62,9 @@ class RegistryStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "reloads": self.reloads,
+            "load_failures": self.load_failures,
+            "stale_serves": self.stale_serves,
+            "last_load_error": self.last_load_error,
         }
 
 
@@ -65,6 +79,12 @@ class _Entry:
     generation: int = 1
     #: Engine cache: options-key -> QueryEngine, dropped on reload/eviction.
     engines: dict = field(default_factory=dict)
+    #: Fingerprint of an on-disk state that failed to load.  While the file
+    #: still matches it, requests serve this (previous-generation) entry
+    #: without re-attempting the load — no reload storm against a
+    #: stably-corrupt file; any further file change clears the memo and
+    #: triggers a fresh load attempt.
+    bad_fingerprint: tuple | None = None
 
     def fingerprint(self) -> tuple:
         return (self.mtime_ns, self.size)
@@ -150,7 +170,18 @@ class ModelRegistry:
                 model = self._cached(key, fingerprint)
                 if model is not None:
                     return model
-            model = NetDPSyn.load(path)
+            try:
+                maybe_fire(SITE_MODEL_LOAD, path=str(path))
+                model = NetDPSyn.load(path)
+            except FileNotFoundError:
+                # Deleted between stat and load: same contract as
+                # _fingerprint_or_drop — a vanished file is a 404, and any
+                # cached copy must not outlive its release.
+                with self._lock:
+                    self._entries.pop(key, None)
+                raise
+            except Exception as exc:
+                return self._load_failed(key, fingerprint, exc)
             with self._lock:
                 if key in self._entries:
                     self.stats.reloads += 1
@@ -169,6 +200,34 @@ class ModelRegistry:
                 # cached when this returns.
                 self._evict_over_budget()
         return model
+
+    def _load_failed(self, key: str, fingerprint: tuple, exc: Exception):
+        """Reload-failure isolation: keep serving the previous generation.
+
+        A corrupt or mid-rewrite ``.ndpsyn`` file must not take a model that
+        was serving fine out of rotation.  When a previous generation is
+        cached, the failing on-disk state is memoized as ``bad_fingerprint``
+        (so :meth:`_cached` serves stale without re-attempting the load on
+        every request — no reload storm against a stably-corrupt file) and
+        the cached model is returned.  With nothing cached, the failure
+        surfaces as a typed 503 :class:`~repro.serving.errors.ModelUnavailable`
+        — distinct from the 404 of a file that does not exist at all.
+        """
+        from repro.serving.errors import ModelUnavailable
+
+        with self._lock:
+            self.stats.load_failures += 1
+            self.stats.last_load_error = f"{type(exc).__name__}: {exc}"
+            entry = self._entries.get(key)
+            if entry is not None:
+                entry.bad_fingerprint = fingerprint
+                self._entries.move_to_end(key)
+                self.stats.stale_serves += 1
+                return entry.model
+        raise ModelUnavailable(
+            f"model {key!r} exists but cannot be loaded "
+            f"({type(exc).__name__}: {exc}) and no previous generation is cached"
+        ) from exc
 
     def _fingerprint_or_drop(self, path: Path, key: str) -> tuple:
         """Stat the file; a vanished file drops the cache entry and raises."""
@@ -190,6 +249,12 @@ class ModelRegistry:
         if entry is not None and entry.fingerprint() == fingerprint:
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            return entry.model
+        if entry is not None and fingerprint == entry.bad_fingerprint:
+            # The on-disk state is one we already failed to load: serve the
+            # previous generation without burning another load attempt.
+            self._entries.move_to_end(key)
+            self.stats.stale_serves += 1
             return entry.model
         return None
 

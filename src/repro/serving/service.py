@@ -40,12 +40,25 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.reliability import (
+    SITE_QUERY,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    maybe_fire,
+)
 from repro.serving.errors import (
     AuthenticationError,
+    CircuitOpen,
+    EngineFaultError,
     ModelNotFound,
     QuotaExceeded,
+    RequestDeadlineExceeded,
+    ServiceOverloaded,
+    ServingError,
     error_from_exception,
 )
 from repro.serving.queries import Prefer, Query, QueryAnswer
@@ -234,22 +247,34 @@ class MicroBatcher:
     follow-up batches form with no additional window latency.  Followers
     just park on an event and wake with their answer.  One global lock
     guards all group queues; the work under it is list appends only.
+
+    ``runner`` (optional) replaces the direct ``engine.run_batch`` call with
+    ``runner(engine, queries, prefer)`` — the service passes its guarded
+    runner so batched executions get the same circuit-breaker accounting and
+    fault typing as unbatched ones.  A request carrying a
+    :class:`~repro.reliability.Deadline` shortens the leader's collection
+    window to the time it has left, and a follower whose deadline lapses
+    while the leader executes gives up and maps to a 504 (its slot in the
+    batch still completes; nobody reads the abandoned answer).
     """
 
-    def __init__(self, window: float, max_batch: int) -> None:
+    def __init__(self, window: float, max_batch: int, runner=None) -> None:
         if window < 0:
             raise ValueError(f"window must be >= 0, got {window}")
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self.window = float(window)
         self.max_batch = int(max_batch)
+        self._runner = runner
         self._lock = threading.Lock()
         self._groups: dict = {}
         self.batches = 0
         self.batched_queries = 0
         self.largest_batch = 0
 
-    def submit(self, key, engine, prefer: Prefer, query: Query) -> QueryAnswer:
+    def submit(
+        self, key, engine, prefer: Prefer, query: Query, deadline: Deadline | None = None
+    ) -> QueryAnswer:
         pending = _Pending(query)
         with self._lock:
             group = self._groups.get(key)
@@ -262,10 +287,20 @@ class MicroBatcher:
                 group.active = True
         if lead:
             if self.window > 0:
-                time.sleep(self.window)
+                pause = self.window
+                if deadline is not None:
+                    # Never let collection eat the whole budget: keep at
+                    # least half of what remains for the execution itself.
+                    pause = min(pause, deadline.remaining() / 2.0)
+                if pause > 0:
+                    time.sleep(pause)
             self._drain(key, group)
-        else:
+        elif deadline is None:
             pending.event.wait()
+        # A small grace past the deadline lets a leader finishing right at
+        # the wire still deliver; beyond it the follower stops waiting.
+        elif not pending.event.wait(deadline.remaining() + 0.05):
+            raise DeadlineExceeded("batched query missed its deadline")
         if pending.error is not None:
             raise pending.error
         return pending.answer
@@ -285,11 +320,13 @@ class MicroBatcher:
             self._execute(group, batch)
 
     def _execute(self, group: _Group, batch: list) -> None:
+        queries = [p.query for p in batch]
         try:
-            answers = group.engine.run_batch(
-                [p.query for p in batch], prefer=group.prefer
-            )
-        except BaseException as exc:  # pragma: no cover - defended upstream
+            if self._runner is not None:
+                answers = self._runner(group.engine, queries, group.prefer)
+            else:
+                answers = group.engine.run_batch(queries, prefer=group.prefer)
+        except BaseException as exc:
             # Queries are pre-resolved before enqueueing, so per-query
             # validation errors cannot land here; anything that does is a
             # server-side failure shared by the whole batch.
@@ -329,6 +366,21 @@ class ServiceConfig:
     next to network latency.  ``engine_options`` pass through to every
     leased :class:`~repro.serving.engine.QueryEngine` (e.g.
     ``{"sample_records": 200_000}``).
+
+    The reliability knobs:
+
+    - ``request_deadline`` — default per-request time budget in seconds
+      (``None`` = unlimited); an expired request maps to a 504 and counts in
+      ``stats()["reliability"]["deadline_hits"]``.
+    - ``max_inflight`` — admission cap: requests past it are shed with a
+      typed 503 + ``Retry-After`` instead of queueing (cache hits are never
+      shed — they complete in microseconds and hold no engine resources).
+    - ``breaker_failures`` / ``breaker_reset`` — circuit-breaker trip
+      threshold (consecutive engine faults) and open-state cool-down.
+    - ``degraded_serving`` — while the breaker is open, still answer
+      queries the marginal path covers (pure array reads off published
+      marginals, independent of the faulting execution machinery); only
+      queries that genuinely need sampling get the 503 ``circuit_open``.
     """
 
     batch_window: float = 0.004
@@ -337,10 +389,25 @@ class ServiceConfig:
     cache_entries: int = 10_000
     default_prefer: Prefer = Prefer.AUTO
     engine_options: dict = field(default_factory=dict)
+    request_deadline: float | None = None
+    max_inflight: int = 256
+    breaker_failures: int = 5
+    breaker_reset: float = 30.0
+    degraded_serving: bool = True
 
     def __post_init__(self) -> None:
         if self.batch_window < 0:
             raise ValueError(f"batch_window must be >= 0, got {self.batch_window}")
+        if self.request_deadline is not None and self.request_deadline <= 0:
+            raise ValueError(
+                f"request_deadline must be positive, got {self.request_deadline}"
+            )
+        if self.max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight}")
+        if self.breaker_failures < 1:
+            raise ValueError(f"breaker_failures must be >= 1, got {self.breaker_failures}")
+        if self.breaker_reset <= 0:
+            raise ValueError(f"breaker_reset must be positive, got {self.breaker_reset}")
         object.__setattr__(self, "default_prefer", Prefer.coerce(self.default_prefer))
 
 
@@ -366,11 +433,25 @@ class QueryService:
         self.config = config or ServiceConfig()
         self.authenticator = authenticator or OpenAccess()
         self.cache = AnswerCache(self.config.cache_entries)
-        self.batcher = MicroBatcher(self.config.batch_window, self.config.max_batch)
+        self.batcher = MicroBatcher(
+            self.config.batch_window,
+            self.config.max_batch,
+            runner=self._run_guarded,
+        )
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_failures,
+            reset_timeout=self.config.breaker_reset,
+        )
         self._buckets: dict = {}
         self._buckets_lock = threading.Lock()
         self._requests = 0
         self._started = time.time()
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._shed = 0
+        self._deadline_hits = 0
+        self._degraded = 0
+        self._engine_faults = 0
 
     # -------------------------------------------------------------- plumbing
     def _authorize(self, api_key: str | None, cost: float = 1.0) -> Tenant:
@@ -404,6 +485,89 @@ class QueryService:
         key = self.registry.key_of(model)
         return engine, (key, generation)
 
+    # ----------------------------------------------------------- reliability
+    def _deadline(self, deadline: Deadline | None) -> Deadline | None:
+        """The caller's deadline, else the configured default, else none."""
+        if deadline is not None:
+            return deadline
+        if self.config.request_deadline is not None:
+            return Deadline.after(self.config.request_deadline)
+        return None
+
+    @contextmanager
+    def _admit(self):
+        """Admission control: hold one in-flight slot or shed with a 503.
+
+        Shedding beats queueing here: every admitted request holds a
+        connection thread and (usually) engine work, so past the cap more
+        queueing only grows tail latency for everyone.  A shed client
+        retries after ``retry_after`` at zero privacy cost.
+        """
+        with self._inflight_lock:
+            if self._inflight >= self.config.max_inflight:
+                self._shed += 1
+                raise ServiceOverloaded(
+                    f"service is at its in-flight cap ({self.config.max_inflight}); "
+                    "request shed",
+                    retry_after=max(0.05, 2 * self.config.batch_window),
+                )
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+
+    def _run_guarded(self, engine, queries: list, prefer: Prefer) -> list:
+        """Engine execution with circuit-breaker accounting and fault typing.
+
+        Client-shaped errors (validation misses that slipped past the
+        up-front check) map to their 4xx types without touching the breaker;
+        anything else is a server-side engine fault: it trips the breaker
+        one notch and surfaces as a typed 503 — never an untyped 500.
+        """
+        try:
+            maybe_fire(SITE_QUERY)
+            answers = engine.run_batch(queries, prefer=prefer)
+        except ServingError:
+            raise
+        except (KeyError, LookupError, ValueError) as exc:
+            raise error_from_exception(exc) from None
+        except Exception as exc:
+            self.breaker.record_failure()
+            with self._inflight_lock:
+                self._engine_faults += 1
+            raise EngineFaultError(
+                f"query execution failed: {type(exc).__name__}: {exc}"
+            ) from exc
+        self.breaker.record_success()
+        return answers
+
+    def _degraded_answer(self, engine, query: Query, prefer: Prefer) -> QueryAnswer:
+        """Marginal-path answer while the breaker is open, else ``CircuitOpen``.
+
+        The marginal path is pure array reads off the published noisy
+        marginals — no sampling machinery to fault — so it keeps serving
+        through engine trouble.  For ``prefer="auto"`` it returns exactly
+        what the healthy path would have (auto resolves to the marginal path
+        whenever one covers the query), which is why the answer is safe to
+        cache under the caller's prefer.
+        """
+        if (
+            self.config.degraded_serving
+            and prefer is not Prefer.SAMPLE
+            and engine.answerable_from_marginal(query)
+        ):
+            answer = engine.run(query, prefer=Prefer.MARGINAL)
+            with self._inflight_lock:
+                self._degraded += 1
+            return answer
+        raise CircuitOpen(
+            "engine circuit breaker is open after repeated faults and the "
+            "query needs the sample path",
+            retry_after=self.breaker.retry_after(),
+        )
+
     # --------------------------------------------------------------- queries
     def query(
         self,
@@ -411,14 +575,26 @@ class QueryService:
         query: Query,
         prefer=None,
         api_key: str | None = None,
+        deadline: Deadline | None = None,
     ) -> QueryAnswer:
-        """Answer one query: auth -> cache -> (micro-batched) execution."""
+        """Answer one query: auth -> cache -> admission -> guarded execution."""
+        deadline = self._deadline(deadline)
+        try:
+            return self._query(model, query, prefer, api_key, deadline)
+        except DeadlineExceeded as exc:
+            with self._inflight_lock:
+                self._deadline_hits += 1
+            raise RequestDeadlineExceeded(str(exc)) from None
+
+    def _query(self, model, query, prefer, api_key, deadline) -> QueryAnswer:
         self._authorize(api_key)
         prefer = Prefer.coerce(prefer if prefer is not None else self.config.default_prefer)
         engine, (model_key, generation) = self._lease(model)
         cacheable = self.config.cache_answers and generation is not None
         cache_key = (model_key, generation, prefer, query)
         if cacheable:
+            # Cache hits are exempt from shedding, deadlines, and the
+            # breaker: they hold no engine resources and finish instantly.
             hit = self.cache.get(cache_key)
             if hit is not None:
                 return hit
@@ -429,14 +605,23 @@ class QueryService:
             engine.validate(query, prefer)
         except (KeyError, LookupError, ValueError) as exc:
             raise error_from_exception(exc) from None
-        if self.batcher.window > 0:
-            answer = self.batcher.submit(
-                (model_key, generation, prefer), engine, prefer, query
-            )
-        else:
-            answer = engine.run(query, prefer=prefer)
+        with self._admit():
+            if deadline is not None:
+                deadline.check("query admission")
+            if not self.breaker.allow():
+                answer = self._degraded_answer(engine, query, prefer)
+            elif self.batcher.window > 0:
+                answer = self.batcher.submit(
+                    (model_key, generation, prefer), engine, prefer, query, deadline=deadline
+                )
+            else:
+                answer = self._run_guarded(engine, [query], prefer)[0]
         if cacheable:
+            # Cache before the final deadline check: the answer is correct
+            # even when late, and the client's retry then hits the cache.
             self.cache.put(cache_key, answer)
+        if deadline is not None:
+            deadline.check("answer delivery")
         return answer
 
     def query_batch(
@@ -445,6 +630,7 @@ class QueryService:
         queries,
         prefer=None,
         api_key: str | None = None,
+        deadline: Deadline | None = None,
     ) -> list:
         """Answer a client-assembled batch in one grouped execution.
 
@@ -452,6 +638,15 @@ class QueryService:
         Cached answers are reused; only the misses run (in one
         ``run_batch``), and their answers backfill the cache.
         """
+        deadline = self._deadline(deadline)
+        try:
+            return self._query_batch(model, queries, prefer, api_key, deadline)
+        except DeadlineExceeded as exc:
+            with self._inflight_lock:
+                self._deadline_hits += 1
+            raise RequestDeadlineExceeded(str(exc)) from None
+
+    def _query_batch(self, model, queries, prefer, api_key, deadline) -> list:
         queries = list(queries)
         self._authorize(api_key, cost=max(1.0, float(len(queries))))
         prefer = Prefer.coerce(prefer if prefer is not None else self.config.default_prefer)
@@ -466,18 +661,30 @@ class QueryService:
             else:
                 misses.append(i)
         if misses:
-            try:
-                fresh = engine.run_batch([queries[i] for i in misses], prefer=prefer)
-            except (KeyError, LookupError, ValueError) as exc:
-                raise error_from_exception(exc) from None
+            miss_queries = [queries[i] for i in misses]
+            with self._admit():
+                if deadline is not None:
+                    deadline.check("batch admission")
+                if not self.breaker.allow():
+                    fresh = [self._degraded_answer(engine, q, prefer) for q in miss_queries]
+                else:
+                    fresh = self._run_guarded(engine, miss_queries, prefer)
             for i, answer in zip(misses, fresh):
                 answers[i] = answer
                 if cacheable:
                     self.cache.put((model_key, generation, prefer, queries[i]), answer)
+        if deadline is not None:
+            deadline.check("batch delivery")
         return answers
 
     # ------------------------------------------------------------- wire level
-    def handle_query(self, model: str, payload: dict, api_key: str | None = None) -> dict:
+    def handle_query(
+        self,
+        model: str,
+        payload: dict,
+        api_key: str | None = None,
+        deadline: Deadline | None = None,
+    ) -> dict:
         """Wire entry point: ``{"query": {...}, "prefer"?: "..."}`` -> answer."""
         if not isinstance(payload, dict) or "query" not in payload:
             raise error_from_exception(
@@ -485,10 +692,16 @@ class QueryService:
             )
         query = query_from_wire(payload["query"])
         prefer = prefer_from_wire(payload)
-        answer = self.query(model, query, prefer=prefer, api_key=api_key)
+        answer = self.query(model, query, prefer=prefer, api_key=api_key, deadline=deadline)
         return answer_to_wire(answer)
 
-    def handle_query_batch(self, model: str, payload: dict, api_key: str | None = None) -> dict:
+    def handle_query_batch(
+        self,
+        model: str,
+        payload: dict,
+        api_key: str | None = None,
+        deadline: Deadline | None = None,
+    ) -> dict:
         """Wire entry point: ``{"queries": [...], "prefer"?: "..."}``."""
         if not isinstance(payload, dict) or not isinstance(payload.get("queries"), list):
             raise error_from_exception(
@@ -496,7 +709,9 @@ class QueryService:
             )
         queries = [query_from_wire(q) for q in payload["queries"]]
         prefer = prefer_from_wire(payload)
-        answers = self.query_batch(model, queries, prefer=prefer, api_key=api_key)
+        answers = self.query_batch(
+            model, queries, prefer=prefer, api_key=api_key, deadline=deadline
+        )
         return {
             "schema_version": SCHEMA_VERSION,
             "answers": [answer_to_wire(a) for a in answers],
@@ -535,6 +750,16 @@ class QueryService:
         """Observability snapshot (also the benchmark's evidence trail)."""
         with self._buckets_lock:
             requests = self._requests
+        with self._inflight_lock:
+            reliability = {
+                "breaker": self.breaker.stats(),
+                "inflight": self._inflight,
+                "max_inflight": self.config.max_inflight,
+                "shed": self._shed,
+                "deadline_hits": self._deadline_hits,
+                "degraded_answers": self._degraded,
+                "engine_faults": self._engine_faults,
+            }
         return {
             "schema_version": SCHEMA_VERSION,
             "uptime_seconds": round(time.time() - self._started, 3),
@@ -542,4 +767,5 @@ class QueryService:
             "cache": self.cache.stats() if self.config.cache_answers else {"enabled": False},
             "batcher": self.batcher.stats(),
             "registry": self.registry.stats.as_dict(),
+            "reliability": reliability,
         }

@@ -43,12 +43,15 @@ SERVING_ALL = [
     "AnswerCache",
     "ApiKeyAuth",
     "AuthenticationError",
+    "CircuitOpen",
     "DEFAULT_BYTE_BUDGET",
     "DEFAULT_SAMPLE_RECORDS",
+    "EngineFaultError",
     "MODEL_SUFFIX",
     "MicroBatcher",
     "ModelNotFound",
     "ModelRegistry",
+    "ModelUnavailable",
     "OpenAccess",
     "PROVENANCE_MARGINAL",
     "PROVENANCE_SAMPLE",
@@ -60,9 +63,11 @@ SERVING_ALL = [
     "QueryValidationError",
     "QuotaExceeded",
     "RegistryStats",
+    "RequestDeadlineExceeded",
     "SCHEMA_VERSION",
     "SchemaVersionError",
     "ServiceConfig",
+    "ServiceOverloaded",
     "ServingError",
     "Tenant",
     "TokenBucket",
