@@ -1,0 +1,73 @@
+"""Privacy frontier bench: leakage ceilings + the CI frontier artifact.
+
+Runs the ``privacy`` experiment (record- and user-level MIA, attribute
+inference, mean JSD — per epsilon in {0.5, 2.0, 8.0}) and
+
+- asserts the attacks still have power against an unprotected target (a
+  gate whose attack sits at chance on raw data gates nothing),
+- asserts the leakage worst-cases stay under the SAME committed ceilings
+  ``compare_baselines.py`` gates (imported, so the bench and the gate can
+  never disagree),
+- writes the **fidelity-vs-leakage frontier** JSON artifact
+  (``privacy-frontier.json``, or ``$REPRO_FRONTIER_JSON``) that the CI
+  smoke job uploads next to the bench timings.
+
+Protocol, threat model, and ceiling derivation: ``docs/privacy.md``.
+"""
+
+import json
+import os
+
+from compare_baselines import CEILINGS
+from conftest import attach
+
+from repro.experiments import privacy
+
+#: User-level MIA is not in the compare_baselines gate set (the ISSUE gates
+#: the two headline metrics), so its smoke backstop lives here.  Sweep worst
+#: measured 0.60 at acceptance scale; smoke scale is coarser.
+USER_MIA_AUC_CEILING = 0.68
+
+#: Raw-calibration floors (smoke scale n=1000, seed 0: MIA AUC 0.613,
+#: user-level 0.655, attribute advantage 0.095; acceptance scale is higher).
+RAW_MIA_AUC_FLOOR = 0.55
+RAW_USER_MIA_AUC_FLOOR = 0.56
+RAW_ATTR_ADVANTAGE_FLOOR = 0.05
+
+
+def test_privacy_frontier(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: privacy.run(scale), rounds=1, iterations=1, warmup_rounds=0
+    )
+    attach(benchmark, result)
+
+    artifact_path = os.environ.get("REPRO_FRONTIER_JSON", "privacy-frontier.json")
+    with open(artifact_path, "w") as fh:
+        json.dump(privacy.frontier_artifact(result), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    raw, gates = result["raw"], result["gates"]
+    for point in result["frontier"]:
+        print(
+            "[privacy] eps={epsilon:<4} jsd={jsd:.4f} mia_auc={mia_auc:.4f} "
+            "user_mia_auc={user_mia_auc:.4f} attr_adv={attr_advantage:+.4f}".format(**point)
+        )
+    print(
+        "[privacy] raw calibration: mia_auc={mia_auc:.4f} user_mia_auc={user_mia_auc:.4f} "
+        "attr_adv={attr_advantage:+.4f}".format(**raw)
+    )
+
+    # Calibration: the attacks must beat chance on the unprotected target.
+    assert raw["mia_auc"] >= RAW_MIA_AUC_FLOOR
+    assert raw["user_mia_auc"] >= RAW_USER_MIA_AUC_FLOOR
+    assert raw["attr_advantage"] >= RAW_ATTR_ADVANTAGE_FLOOR
+
+    # Leakage ceilings — identical numbers to the compare_baselines gate.
+    assert gates["mia_auc_worst"] <= CEILINGS["privacy.mia_auc"]
+    assert gates["attr_advantage_worst"] <= CEILINGS["privacy.attr_advantage"]
+    assert gates["user_mia_auc_worst"] <= USER_MIA_AUC_CEILING
+
+    # Frontier shape: more budget buys fidelity (the leakage ordering is
+    # noise-dominated at bench scale; the ceilings gate it point-by-point).
+    jsd = {p["epsilon"]: p["jsd"] for p in result["frontier"]}
+    assert jsd[min(jsd)] > jsd[max(jsd)]

@@ -135,6 +135,28 @@ GATED_RESULT_METRICS = {
     ),
 }
 
+#: Leakage metrics gated as ABSOLUTE ceilings: the committed baseline value
+#: IS the ceiling, and a fresh value above it fails outright — no tolerance
+#: band in either direction, because "30% more membership leakage" is not a
+#: perf regression to wave through, it is the privacy contract breaking.
+#: The ceilings here are the smoke-job backstop and are WIDER than the
+#: per-seed ceilings in tests/test_privacy_acceptance.py (the tight gate,
+#: which runs in tier-1 on every leg): the smoke job runs at 1k records,
+#: where 400-member attack populations quantize the metrics coarsely.
+#: Derivation and protocol: docs/privacy.md.  ``extract`` re-pins these
+#: from the constants below, never from a measured run.
+CEILINGS = {
+    "privacy.mia_auc": 0.62,
+    "privacy.attr_advantage": 0.15,
+}
+
+#: metric name -> (benchmark test name, path inside extra_info.result) for
+#: the ceiling-gated leakage metrics.
+CEILING_RESULT_METRICS = {
+    "privacy.mia_auc": ("test_privacy_frontier", ("gates", "mia_auc_worst")),
+    "privacy.attr_advantage": ("test_privacy_frontier", ("gates", "attr_advantage_worst")),
+}
+
 #: Absolute-throughput metrics depend on the machine the baseline was pinned
 #: on, so they get a wider tolerance band than same-run ratios: the gate
 #: should catch "the fast kernel stopped being default"-size regressions
@@ -174,6 +196,11 @@ def extract_metrics(bench_json: dict) -> dict:
                 value = _dig(result, path)
                 if isinstance(value, (int, float)) and value == value:
                     metrics[metric] = float(value)
+        for metric, (test_name, path) in CEILING_RESULT_METRICS.items():
+            if test_name in name:
+                value = _dig(result, path)
+                if isinstance(value, (int, float)) and value == value:
+                    metrics[metric] = float(value)
         rss = extra.get("peak_rss_bytes")
         if isinstance(rss, (int, float)) and rss > 0:
             metrics[RSS_METRIC_PREFIX + name.split("[")[0]] = float(rss)
@@ -183,6 +210,8 @@ def extract_metrics(bench_json: dict) -> dict:
 def _direction(metric: str) -> str:
     if metric.startswith(RSS_METRIC_PREFIX):
         return "lower"
+    if metric in CEILING_RESULT_METRICS:
+        return "ceiling"
     return GATED_RESULT_METRICS[metric][2]
 
 
@@ -198,6 +227,16 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> int:
             print(f"[bench-compare]   ~  {metric}: only in the {side}; skipped")
             continue
         direction = _direction(metric)
+        if direction == "ceiling":
+            # Absolute leakage gate: the baseline IS the committed ceiling.
+            bad = new > old
+            flag = "FAIL" if bad else "ok"
+            print(
+                f"[bench-compare] {flag:>4s} {metric}: measured {new:.4g} vs "
+                f"committed ceiling {old:.4g} (absolute; see docs/privacy.md)"
+            )
+            regressions += bad
+            continue
         if old <= 0:
             print(f"[bench-compare] ~ {metric}: non-positive baseline {old}; skipped")
             continue
@@ -241,6 +280,12 @@ def main(argv=None) -> int:
         if not metrics:
             print("no gated metrics found; is this a --benchmark-json file?")
             return 1
+        # Ceiling metrics re-pin from the committed constants, never from a
+        # measured run: re-pinning a perf baseline must not quietly loosen
+        # (or tighten) the privacy contract.
+        for metric in CEILING_RESULT_METRICS:
+            if metric in metrics:
+                metrics[metric] = CEILINGS[metric]
         payload = {
             "format": "repro-bench-baseline",
             "version": 1,
@@ -264,10 +309,12 @@ def main(argv=None) -> int:
     regressions = compare(baseline, fresh, args.tolerance)
     if regressions:
         print(
-            f"[bench-compare] {regressions} gated metric(s) regressed more than "
-            f"{args.tolerance:.0%}.  If the change is intentional, re-pin with: "
+            f"[bench-compare] {regressions} gated metric(s) failed — perf outside the "
+            f"{args.tolerance:.0%} tolerance band, or leakage above an absolute privacy "
+            f"ceiling (docs/privacy.md).  If a perf change is intentional, re-pin with: "
             f"python benchmarks/compare_baselines.py extract <smoke.json> "
-            f"-o benchmarks/baselines/bench-smoke-baseline.json"
+            f"-o benchmarks/baselines/bench-smoke-baseline.json  (ceilings re-pin from "
+            f"the committed constants, never from measurements)"
         )
         return 1
     print("[bench-compare] all gated metrics within tolerance")

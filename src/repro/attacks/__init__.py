@@ -1,5 +1,27 @@
-"""Privacy attacks for the Appendix G analysis."""
+"""Privacy attacks: membership and attribute inference against releases.
 
-from repro.attacks.mia import MiaResult, loss_threshold_mia
+The modules here are the *measurement* side of the privacy story — the
+acceptance suite (``tests/test_privacy_acceptance.py``) and the ``privacy``
+experiment run these attacks per-PR so a refactor can never silently trade
+leakage for speed.  Threat model and protocol in ``docs/privacy.md``.
+"""
 
-__all__ = ["MiaResult", "loss_threshold_mia"]
+from repro.attacks.attribute import (
+    AttributeInferenceResult,
+    attribute_inference_attack,
+)
+from repro.attacks.mia import (
+    MiaResult,
+    loss_threshold_mia,
+    membership_auc,
+    user_level_mia,
+)
+
+__all__ = [
+    "AttributeInferenceResult",
+    "MiaResult",
+    "attribute_inference_attack",
+    "loss_threshold_mia",
+    "membership_auc",
+    "user_level_mia",
+]

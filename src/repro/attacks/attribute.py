@@ -1,0 +1,98 @@
+"""Attribute inference against synthetic releases (Tran et al.'s framing).
+
+The adversary holds a victim record with one **sensitive attribute**
+redacted, plus the released synthetic trace.  They train a model *on the
+synthetic data* to predict the sensitive attribute from everything else and
+apply it to the victim.  Some accuracy is legitimate — the release is
+*supposed* to teach population-level structure — so raw accuracy is not
+leakage.  The leakage metric is the **advantage**:
+
+    advantage = accuracy(training members) - accuracy(held-out non-members)
+
+Both groups come from the same population, so any gap is signal the release
+carries about the *specific records behind it* beyond what it teaches about
+the population.  A DP release should pin the advantage near zero; the
+acceptance suite (``tests/test_privacy_acceptance.py``) gates exactly that,
+and ``docs/privacy.md`` documents the threat model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.table import TraceTable
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class AttributeInferenceResult:
+    """Outcome of one attribute-inference run."""
+
+    sensitive: str
+    member_accuracy: float
+    non_member_accuracy: float
+    #: member_accuracy - non_member_accuracy; ~0 means the release teaches
+    #: the population, not the members.
+    advantage: float
+    #: Majority-class rate of the sensitive attribute in the synthetic
+    #: release — the no-model floor both accuracies should beat to show the
+    #: attack (and hence the gate) has power.
+    majority_accuracy: float
+
+
+def _features_and_target(table: TraceTable, sensitive: str):
+    X, _ = table.feature_matrix(exclude=(sensitive,))
+    return X, np.asarray(table.column(sensitive))
+
+
+def attribute_inference_attack(
+    synthetic: TraceTable,
+    members: TraceTable,
+    non_members: TraceTable,
+    sensitive: str,
+    model=None,
+    rng: np.random.Generator | int | None = None,
+) -> AttributeInferenceResult:
+    """Train on ``synthetic``, infer ``sensitive`` for members vs non-members.
+
+    ``members`` are the raw records the release was synthesized from;
+    ``non_members`` are held-out records from the same population.  All
+    three tables must share the schema (the attack featurizes every
+    non-sensitive column identically across them).  ``model`` is any
+    unfitted :class:`repro.ml.base.Classifier`; the default is a depth-12
+    decision tree, deterministic given ``rng``.
+
+    Raises ``ValueError`` on an empty candidate set — advantage over zero
+    members or zero non-members is undefined, and returning 0.0 would make
+    a broken harness read as "no leakage".
+    """
+    if sensitive not in synthetic.schema.names:
+        raise ValueError(f"sensitive attribute {sensitive!r} not in the schema")
+    if members.n_records == 0 or non_members.n_records == 0:
+        raise ValueError("attribute inference requires non-empty member and non-member sets")
+    rng = ensure_rng(rng)
+    if model is None:
+        from repro.ml import DecisionTreeClassifier
+
+        model = DecisionTreeClassifier(max_depth=12, rng=int(rng.integers(2**31)))
+
+    X_syn, y_syn = _features_and_target(synthetic, sensitive)
+    model.fit(X_syn, y_syn)
+
+    X_mem, y_mem = _features_and_target(members, sensitive)
+    X_non, y_non = _features_and_target(non_members, sensitive)
+    member_accuracy = float(np.mean(model.predict(X_mem) == y_mem))
+    non_member_accuracy = float(np.mean(model.predict(X_non) == y_non))
+
+    _, counts = np.unique(y_syn, return_counts=True)
+    majority_accuracy = float(counts.max() / counts.sum()) if counts.size else 0.0
+
+    return AttributeInferenceResult(
+        sensitive=sensitive,
+        member_accuracy=member_accuracy,
+        non_member_accuracy=non_member_accuracy,
+        advantage=member_accuracy - non_member_accuracy,
+        majority_accuracy=majority_accuracy,
+    )

@@ -6,6 +6,21 @@ their losses are lower.  Applied to a classifier trained on raw data the
 attack succeeds well above chance; trained on DP-synthesized data the signal
 collapses, which is the paper's Appendix G finding (64% raw → ~56% at eps=2
 → ~41% at eps=0.1).
+
+Two granularities ship here, both used by the per-PR privacy acceptance
+suite (``tests/test_privacy_acceptance.py``, protocol in ``docs/privacy.md``):
+
+- :func:`loss_threshold_mia` — **record-level**: one record is the unit the
+  attacker tries to place inside/outside the training data.
+- :func:`user_level_mia` — **user-level**: records are grouped by a user key
+  (e.g. ``srcip``) and the attacker scores whole users by their mean loss.
+  This is the stronger adversary when one user contributes many records,
+  and the granularity :mod:`repro.dp.user_level` bounds.
+
+Every attack reports both a thresholded balanced accuracy and a
+threshold-free **AUC** (:func:`membership_auc`): AUC integrates over all
+thresholds, so it cannot be gamed by a lucky cutoff and is the metric the
+acceptance ceilings gate.
 """
 
 from __future__ import annotations
@@ -25,6 +40,33 @@ class MiaResult:
     threshold: float
     member_mean_loss: float
     non_member_mean_loss: float
+    #: Threshold-free attack strength: probability a random member scores
+    #: more member-like than a random non-member.  0.5 is chance.
+    auc: float = 0.5
+
+
+def membership_auc(member_scores, non_member_scores) -> float:
+    """AUC of the rule "higher score ⇒ member" (Mann-Whitney statistic).
+
+    Ties receive average ranks, so constant scores give exactly 0.5 — an
+    attack with no signal can never look better (or worse) than chance.
+    Raises ``ValueError`` when either candidate set is empty: an AUC over
+    zero members or zero non-members is undefined, and silently returning
+    0.5 would make a broken attack pipeline look private.
+    """
+    members = np.asarray(member_scores, dtype=np.float64).ravel()
+    non_members = np.asarray(non_member_scores, dtype=np.float64).ravel()
+    if members.size == 0 or non_members.size == 0:
+        raise ValueError("membership_auc requires non-empty member and non-member scores")
+    combined = np.concatenate([members, non_members])
+    # Average ranks (1-based) with exact tie handling: every equal value
+    # shares the mean of the rank block it occupies.
+    _, inverse, counts = np.unique(combined, return_inverse=True, return_counts=True)
+    block_end = np.cumsum(counts).astype(np.float64)
+    average_rank = block_end - (counts - 1) / 2.0
+    member_rank_sum = float(average_rank[inverse[: members.size]].sum())
+    m, n = float(members.size), float(non_members.size)
+    return float((member_rank_sum - m * (m + 1) / 2.0) / (m * n))
 
 
 def _per_sample_loss(model, X: np.ndarray, y: np.ndarray) -> np.ndarray:
@@ -38,24 +80,16 @@ def _per_sample_loss(model, X: np.ndarray, y: np.ndarray) -> np.ndarray:
     return -np.log(p)
 
 
-def loss_threshold_mia(
-    model,
-    X_members: np.ndarray,
-    y_members: np.ndarray,
-    X_non_members: np.ndarray,
-    y_non_members: np.ndarray,
-    rng: np.random.Generator | int | None = None,
+def _threshold_attack(
+    member_loss: np.ndarray,
+    non_member_loss: np.ndarray,
+    rng: np.random.Generator,
 ) -> MiaResult:
-    """Run the Yeom attack against a fitted classifier.
-
-    ``X_members`` are the records the *target model's training data* was
-    built from (for synthetic-data targets: the raw records behind the
-    synthesis); ``X_non_members`` are held-out records.  Balanced accuracy
-    over an equal number of members and non-members is reported.
-    """
-    rng = ensure_rng(rng)
-    member_loss = _per_sample_loss(model, X_members, y_members)
-    non_member_loss = _per_sample_loss(model, X_non_members, y_non_members)
+    """Score two loss populations: AUC on everything, accuracy balanced."""
+    if member_loss.size == 0 or non_member_loss.size == 0:
+        raise ValueError("the attack requires non-empty member and non-member sets")
+    # Lower loss ⇒ more member-like, so the AUC score is the negated loss.
+    auc = membership_auc(-member_loss, -non_member_loss)
 
     # Balance the two populations for a chance level of exactly 0.5.
     k = min(len(member_loss), len(non_member_loss))
@@ -71,4 +105,69 @@ def loss_threshold_mia(
         threshold=threshold,
         member_mean_loss=float(member_loss.mean()),
         non_member_mean_loss=float(non_member_loss.mean()),
+        auc=auc,
     )
+
+
+def loss_threshold_mia(
+    model,
+    X_members: np.ndarray,
+    y_members: np.ndarray,
+    X_non_members: np.ndarray,
+    y_non_members: np.ndarray,
+    rng: np.random.Generator | int | None = None,
+) -> MiaResult:
+    """Run the Yeom attack against a fitted classifier.
+
+    ``X_members`` are the records the *target model's training data* was
+    built from (for synthetic-data targets: the raw records behind the
+    synthesis); ``X_non_members`` are held-out records.  Balanced accuracy
+    over an equal number of members and non-members is reported; the
+    ``auc`` field is computed over the full (unbalanced) populations, since
+    AUC is insensitive to class balance.
+    """
+    rng = ensure_rng(rng)
+    member_loss = _per_sample_loss(model, X_members, y_members)
+    non_member_loss = _per_sample_loss(model, X_non_members, y_non_members)
+    return _threshold_attack(member_loss, non_member_loss, rng)
+
+
+def _per_user_mean_loss(losses: np.ndarray, users: np.ndarray) -> np.ndarray:
+    """Mean loss per user; a single-record user's score is its record loss."""
+    users = np.asarray(users)
+    if users.shape[0] != losses.shape[0]:
+        raise ValueError("user ids must align with the loss vector")
+    if users.shape[0] == 0:
+        return np.empty(0, dtype=np.float64)
+    _, inverse = np.unique(users, return_inverse=True)
+    sums = np.bincount(inverse, weights=losses)
+    counts = np.bincount(inverse)
+    return sums / counts
+
+
+def user_level_mia(
+    model,
+    X_members: np.ndarray,
+    y_members: np.ndarray,
+    member_users: np.ndarray,
+    X_non_members: np.ndarray,
+    y_non_members: np.ndarray,
+    non_member_users: np.ndarray,
+    rng: np.random.Generator | int | None = None,
+) -> MiaResult:
+    """The Yeom attack at **user** granularity.
+
+    Records are grouped by their user id (``member_users`` /
+    ``non_member_users``, e.g. the ``srcip`` column) and each user is scored
+    by the mean loss over their records — averaging concentrates the
+    membership signal of users who contribute many records, which is
+    exactly the adversary user-level DP (:mod:`repro.dp.user_level`)
+    defends against.  Degenerate single-record users are fine: their score
+    is the record's loss.  ``accuracy`` balances *users*, not records.
+    """
+    rng = ensure_rng(rng)
+    member_loss = _per_user_mean_loss(_per_sample_loss(model, X_members, y_members), member_users)
+    non_member_loss = _per_user_mean_loss(
+        _per_sample_loss(model, X_non_members, y_non_members), non_member_users
+    )
+    return _threshold_attack(member_loss, non_member_loss, rng)

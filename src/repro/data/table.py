@@ -199,6 +199,8 @@ class TraceTable:
         names = list(names)
         if not names:
             raise ValueError("group_ids requires at least one column")
+        if self.n_records == 0:
+            return np.zeros(0, dtype=np.int64)
         # Densify each column to integer codes, then fold pairwise so the
         # combined key never overflows int64 (codes stay < n after each fold).
         ids = np.zeros(self.n_records, dtype=np.int64)

@@ -1,4 +1,9 @@
-"""Differential-privacy primitives: zCDP accounting, mechanisms, allocation."""
+"""Differential-privacy primitives: zCDP accounting, mechanisms, allocation.
+
+``user_level`` carries the contribution-bounding + group-privacy upgrade
+path from record- to user-level guarantees; its empirical counterpart is
+:func:`repro.attacks.user_level_mia` (see ``docs/privacy.md``).
+"""
 
 from repro.dp.accountant import (
     BudgetLedger,
@@ -12,15 +17,23 @@ from repro.dp.mechanisms import (
     exponential_mechanism,
 )
 from repro.dp.rdp import RdpAccountant
+from repro.dp.user_level import (
+    bound_user_contributions,
+    record_rho_for_user_level,
+    user_level_rho,
+)
 
 __all__ = [
     "BudgetLedger",
     "RdpAccountant",
+    "bound_user_contributions",
     "eps_delta_to_rho",
     "exponential_mechanism",
     "gaussian_mechanism",
     "gaussian_sigma",
+    "record_rho_for_user_level",
     "rho_to_eps",
     "split_budget",
+    "user_level_rho",
     "weighted_marginal_budgets",
 ]

@@ -23,6 +23,7 @@ from repro.experiments import (
     fig2_sketch,
     fit_scaling,
     http_serving,
+    privacy,
     reliability,
     serving,
     stream_throughput,
@@ -55,6 +56,7 @@ EXPERIMENTS = {
     "tab7": lambda s: fig7_tab67_epsilon.run_sweep(s, dataset="ugr16"),
     "fig8": lambda s: fig8_gum_vs_gummi.run(s),
     "appg": lambda s: appg_mia.run(s),
+    "privacy": lambda s: privacy.run(s),
     "enginescale": lambda s: engine_scaling.run(s),
     "fitscale": lambda s: fit_scaling.run(s),
     "streamscale": lambda s: stream_throughput.run(s),

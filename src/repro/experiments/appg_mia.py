@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.attacks import loss_threshold_mia
 from repro.experiments.runner import ExperimentScale, split_cached, synthesize_cached
-from repro.ml import DecisionTreeClassifier, build_classifier
+from repro.ml import DecisionTreeClassifier, RandomForestClassifier, build_classifier
 
 MIA_EPSILONS = (2.0, 0.1)
 
@@ -20,12 +20,19 @@ MIA_EPSILONS = (2.0, 0.1)
 def _target_model(model: str, seed: int):
     """The attacked classifier.
 
-    The Yeom attack exploits the generalization gap, so the default target is
-    a deliberately overfitting deep tree — the setting where the paper's raw
-    baseline reaches ~64% attack accuracy.  Any zoo model name also works.
+    The Yeom attack exploits the generalization gap, so the overfit targets
+    are deliberately unregularized: a deep tree (the setting where the
+    paper's raw baseline reaches ~64% attack accuracy) and a small deep
+    forest ("overfit-rf" — graded leaf probabilities give the AUC-based
+    privacy gates a stronger, less tie-bound signal than the tree's near
+    0/1 losses).  Any zoo model name also works.
     """
     if model == "overfit-dt":
         return DecisionTreeClassifier(max_depth=40, min_samples_leaf=1, rng=seed)
+    if model == "overfit-rf":
+        return RandomForestClassifier(
+            n_estimators=10, max_depth=25, min_samples_leaf=1, rng=seed
+        )
     return build_classifier(model, rng=seed)
 
 

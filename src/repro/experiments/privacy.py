@@ -1,0 +1,204 @@
+"""The fidelity-vs-leakage frontier: seeded attacks across an epsilon sweep.
+
+PAPERS.md's "Quantifying the Privacy Implications of High-Fidelity Synthetic
+Network Traffic" (Tran et al.) argues fidelity and leakage must be measured
+*together* — a release can look faithful while quietly memorizing, or
+private while useless.  This experiment runs both sides of that trade at
+every epsilon in the sweep and emits one **frontier**: per-epsilon
+``(mean JSD, MIA AUC, user-level MIA AUC, attribute advantage)`` points,
+plus a raw-target calibration row proving the attacks have power (an attack
+that cannot beat chance on an unprotected target gates nothing).
+
+Protocol (full rationale in ``docs/privacy.md``):
+
+- 80/20 train/test split; a small *member* subsample of the train split is
+  the attack target population (small targets overfit hard — the classic
+  Yeom setting), the test split supplies non-members.
+- For each epsilon, NetDPSyn synthesizes from the full train split; a
+  surrogate classifier trained on the synthetic output is attacked with
+  record-level MIA, user-level MIA (users keyed by ``srcip``), and
+  attribute inference on the label field.
+- Fidelity is the mean JSD over the fidelity suite's categorical attrs,
+  synthetic vs the train split it was synthesized from.
+
+``benchmarks/bench_privacy.py`` wraps this with ceilings and writes the
+frontier JSON artifact CI uploads; ``tests/test_privacy_acceptance.py``
+gates the same attacks at pinned seeds in tier-1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks import (
+    attribute_inference_attack,
+    loss_threshold_mia,
+    user_level_mia,
+)
+from repro.experiments.appg_mia import _target_model
+from repro.experiments.runner import ExperimentScale, split_cached, synthesize_cached
+from repro.metrics.distribution import jensen_shannon_divergence
+
+#: The epsilon sweep: a strict budget, the paper's headline setting, and a
+#: loose budget — enough to see the frontier bend.
+PRIVACY_EPSILONS = (0.5, 2.0, 8.0)
+
+#: Attrs averaged into the frontier's fidelity coordinate (the fidelity
+#: suite's categorical JSD set; missing attrs are skipped per dataset).
+FIDELITY_ATTRS = ("proto", "service", "type", "dstport", "srcip", "dstip")
+
+#: Member subsample size (the classic Yeom setting: small training sets
+#: overfit hard, so the raw calibration has a visible membership signal).
+TARGET_SUBSAMPLE = 400
+
+
+def _mean_jsd(reference, synthetic, attrs=FIDELITY_ATTRS) -> float:
+    """Mean Jensen-Shannon divergence over the shared categorical attrs."""
+    names = [a for a in attrs if a in reference.schema.names]
+    values = [
+        jensen_shannon_divergence(reference.column(a), synthetic.column(a)) for a in names
+    ]
+    return float(np.mean(values)) if values else float("nan")
+
+
+def _attack_suite(
+    target_model,
+    attribute_source,
+    members,
+    non_members,
+    label: str,
+    user_key: str,
+    seed: int,
+) -> dict:
+    """All three attacks against one target; returns one frontier row's metrics.
+
+    ``target_model`` is the fitted classifier under MIA; ``attribute_source``
+    is the table the attribute-inference model trains on (the synthetic
+    release, or the members themselves for the raw calibration).
+    """
+    X_members, _ = members.feature_matrix(exclude=(label,))
+    y_members = np.asarray(members.column(label))
+    X_non, _ = non_members.feature_matrix(exclude=(label,))
+    y_non = np.asarray(non_members.column(label))
+
+    record = loss_threshold_mia(
+        target_model, X_members, y_members, X_non, y_non, rng=seed + 67
+    )
+    user = user_level_mia(
+        target_model,
+        X_members,
+        y_members,
+        np.asarray(members.column(user_key)),
+        X_non,
+        y_non,
+        np.asarray(non_members.column(user_key)),
+        rng=seed + 68,
+    )
+    attribute = attribute_inference_attack(
+        attribute_source, members, non_members, sensitive=label, rng=seed + 69
+    )
+    return {
+        "mia_auc": record.auc,
+        "mia_accuracy": record.accuracy,
+        "user_mia_auc": user.auc,
+        "user_mia_accuracy": user.accuracy,
+        "attr_advantage": attribute.advantage,
+        "attr_member_accuracy": attribute.member_accuracy,
+        "attr_non_member_accuracy": attribute.non_member_accuracy,
+    }
+
+
+def run(
+    scale: ExperimentScale | None = None,
+    dataset: str = "ton",
+    eps_values: tuple = PRIVACY_EPSILONS,
+    model: str = "overfit-rf",
+    user_key: str = "srcip",
+    target_subsample: int = TARGET_SUBSAMPLE,
+) -> dict:
+    """Measure the fidelity-vs-leakage frontier; returns frontier + gates.
+
+    ``result["frontier"]`` is the per-epsilon point list; ``result["raw"]``
+    is the unprotected-target calibration; ``result["gates"]`` holds the
+    worst (largest) leakage values across the sweep — the numbers
+    ``compare_baselines.py`` checks against the committed ceilings.
+    """
+    scale = scale or ExperimentScale()
+    train, test = split_cached(dataset, scale)
+    label = train.schema.label_field.name
+
+    sub_rng = np.random.default_rng(scale.seed + 71)
+    sub_idx = sub_rng.choice(
+        train.n_records, size=min(target_subsample, train.n_records), replace=False
+    )
+    members = train.take(sub_idx)
+    X_members, _ = members.feature_matrix(exclude=(label,))
+    y_members = np.asarray(members.column(label))
+
+    # Calibration: attack a model trained directly on the members (and an
+    # attribute model trained on the members).  If these numbers sit at
+    # chance, the attacks are broken and every ceiling below is vacuous.
+    raw_target = _target_model(model, scale.seed + 61)
+    raw_target.fit(X_members, y_members)
+    raw = _attack_suite(
+        raw_target, members, members, test, label, user_key, scale.seed
+    )
+
+    frontier = []
+    for eps in eps_values:
+        synthetic, _ = synthesize_cached(
+            "netdpsyn", dataset, scale, epsilon=eps, from_train=True
+        )
+        X_syn, _ = synthetic.feature_matrix(exclude=(label,))
+        y_syn = np.asarray(synthetic.column(label))
+        surrogate = _target_model(model, scale.seed + 61)
+        surrogate.fit(X_syn, y_syn)
+        point = {"epsilon": eps, "jsd": _mean_jsd(train, synthetic)}
+        point.update(
+            _attack_suite(surrogate, synthetic, members, test, label, user_key, scale.seed)
+        )
+        frontier.append(point)
+
+    gates = {
+        "mia_auc_worst": max(p["mia_auc"] for p in frontier),
+        "user_mia_auc_worst": max(p["user_mia_auc"] for p in frontier),
+        "attr_advantage_worst": max(p["attr_advantage"] for p in frontier),
+    }
+    return {
+        "dataset": dataset,
+        "n_records": scale.n_records,
+        "seed": scale.seed,
+        "label": label,
+        "user_key": user_key,
+        "epsilons": list(eps_values),
+        "raw": raw,
+        "frontier": frontier,
+        "gates": gates,
+    }
+
+
+def frontier_artifact(result: dict) -> dict:
+    """The versioned frontier JSON artifact CI uploads next to the timings."""
+    return {
+        "format": "repro-privacy-frontier",
+        "version": 1,
+        "dataset": result["dataset"],
+        "n_records": result["n_records"],
+        "seed": result["seed"],
+        "points": [
+            {
+                "epsilon": p["epsilon"],
+                "jsd": p["jsd"],
+                "mia_auc": p["mia_auc"],
+                "user_mia_auc": p["user_mia_auc"],
+                "attr_advantage": p["attr_advantage"],
+            }
+            for p in result["frontier"]
+        ],
+        "raw_calibration": {
+            "mia_auc": result["raw"]["mia_auc"],
+            "user_mia_auc": result["raw"]["user_mia_auc"],
+            "attr_advantage": result["raw"]["attr_advantage"],
+        },
+        "gates": dict(result["gates"]),
+    }

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.anonymization import CryptoPan
-from repro.attacks import loss_threshold_mia
+from repro.attacks import (
+    attribute_inference_attack,
+    loss_threshold_mia,
+    membership_auc,
+    user_level_mia,
+)
 from repro.ml import RandomForestClassifier
 from repro.utils.ipaddr import ip_to_int
 
@@ -97,3 +102,126 @@ class TestCryptoPan:
     def test_out_of_range_rejected(self):
         with pytest.raises(ValueError):
             CryptoPan(b"k").anonymize_int(2**32)
+
+
+class TestMembershipAuc:
+    def test_perfect_separation(self):
+        assert membership_auc([5.0, 4.0, 3.0], [2.0, 1.0]) == 1.0
+        assert membership_auc([1.0, 2.0], [3.0, 4.0]) == 0.0
+
+    def test_constant_scores_are_chance(self):
+        # Every score identical: average ranks make the AUC exactly 0.5,
+        # so a signal-free attack can never look better (or worse) than chance.
+        assert membership_auc(np.zeros(50), np.zeros(80)) == 0.5
+
+    def test_partial_ties_use_average_ranks(self):
+        # members {1, 0}, non-members {1, 0}: each cross pair contributes
+        # 1 (win), 0 (loss) or 0.5 (tie) -> (1 + 0.5 + 0.5 + 0) / 4.
+        assert membership_auc([1.0, 0.0], [1.0, 0.0]) == 0.5
+        # members {2, 0}, non-members {2, 1}: wins 1.5 of 4 comparisons.
+        assert membership_auc([2.0, 0.0], [2.0, 1.0]) == pytest.approx(0.375)
+
+    def test_empty_candidate_set_rejected(self):
+        with pytest.raises(ValueError):
+            membership_auc([], [1.0])
+        with pytest.raises(ValueError):
+            membership_auc([1.0], [])
+
+    def test_matches_pairwise_probability(self):
+        rng = np.random.default_rng(7)
+        members = rng.normal(0.3, 1.0, 40)
+        non_members = rng.normal(0.0, 1.0, 60)
+        wins = (members[:, None] > non_members[None, :]).mean()
+        assert membership_auc(members, non_members) == pytest.approx(wins)
+
+    def test_loss_threshold_mia_reports_auc(self):
+        model, Xm, ym, Xn, yn = TestMia()._overfit_model()
+        result = loss_threshold_mia(model, Xm, ym, Xn, yn, rng=1)
+        assert 0.5 < result.auc <= 1.0
+
+
+class TestUserLevelMia:
+    def _fitted(self):
+        return TestMia()._overfit_model()
+
+    def test_single_member_groups_match_record_level(self):
+        # Degenerate grouping (every record its own user): the user-level
+        # AUC must equal the record-level AUC — the aggregation is a no-op.
+        model, Xm, ym, Xn, yn = self._fitted()
+        record = loss_threshold_mia(model, Xm, ym, Xn, yn, rng=1)
+        user = user_level_mia(
+            model, Xm, ym, np.arange(len(ym)), Xn, yn, np.arange(len(yn)), rng=1
+        )
+        assert user.auc == pytest.approx(record.auc)
+
+    def test_grouping_aggregates_to_user_counts(self):
+        model, Xm, ym, Xn, yn = self._fitted()
+        # 3 member users, 2 non-member users: the balanced accuracy must be
+        # computed over min(3, 2) = 2 users per side, hence quantized to 1/4.
+        member_users = np.arange(len(ym)) % 3
+        non_member_users = np.arange(len(yn)) % 2
+        result = user_level_mia(
+            model, Xm, ym, member_users, Xn, yn, non_member_users, rng=1
+        )
+        assert result.accuracy in {0.0, 0.25, 0.5, 0.75, 1.0}
+
+    def test_misaligned_user_ids_rejected(self):
+        model, Xm, ym, Xn, yn = self._fitted()
+        with pytest.raises(ValueError):
+            user_level_mia(model, Xm, ym, np.arange(3), Xn, yn, np.arange(len(yn)), rng=1)
+
+    def test_empty_candidate_set_rejected(self):
+        model, Xm, ym, Xn, yn = self._fitted()
+        empty_X = np.empty((0, Xm.shape[1]))
+        empty_y = np.empty(0, dtype=ym.dtype)
+        with pytest.raises(ValueError):
+            user_level_mia(
+                model, Xm, ym, np.arange(len(ym)), empty_X, empty_y, np.empty(0), rng=1
+            )
+
+
+class TestAttributeInference:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        from repro.datasets import load_dataset
+
+        raw = load_dataset("ton", n_records=1200, seed=5)
+        rng = np.random.default_rng(6)
+        perm = rng.permutation(raw.n_records)
+        return raw.take(perm[:400]), raw.take(perm[400:800]), raw.take(perm[800:])
+
+    def test_memorizing_source_has_positive_advantage(self, tables):
+        members, non_members, _ = tables
+        # Attribute model trained on the members themselves memorizes them:
+        # member accuracy must exceed non-member accuracy.
+        result = attribute_inference_attack(members, members, non_members, "type", rng=3)
+        assert result.advantage > 0.02
+        assert result.member_accuracy > result.majority_accuracy
+
+    def test_disjoint_source_has_no_advantage(self, tables):
+        members, non_members, source = tables
+        # Trained on a disjoint same-population sample, the model knows the
+        # population, not the members: advantage ~ 0 (tolerance for noise).
+        result = attribute_inference_attack(source, members, non_members, "type", rng=3)
+        assert abs(result.advantage) < 0.1
+
+    def test_advantage_is_the_accuracy_gap(self, tables):
+        members, non_members, source = tables
+        result = attribute_inference_attack(source, members, non_members, "type", rng=3)
+        assert result.advantage == pytest.approx(
+            result.member_accuracy - result.non_member_accuracy
+        )
+        assert result.sensitive == "type"
+
+    def test_unknown_sensitive_attr_rejected(self, tables):
+        members, non_members, source = tables
+        with pytest.raises(ValueError):
+            attribute_inference_attack(source, members, non_members, "nope", rng=3)
+
+    def test_empty_candidate_set_rejected(self, tables):
+        members, non_members, source = tables
+        empty = members.filter(np.zeros(members.n_records, dtype=bool))
+        with pytest.raises(ValueError):
+            attribute_inference_attack(source, empty, non_members, "type", rng=3)
+        with pytest.raises(ValueError):
+            attribute_inference_attack(source, members, empty, "type", rng=3)

@@ -13,6 +13,8 @@ import importlib
 import pytest
 
 import repro
+import repro.attacks
+import repro.dp
 import repro.serving
 
 #: The pinned top-level surface.  Append deliberately; never remove without
@@ -35,6 +37,34 @@ REPRO_ALL = [
     "synthesize",
     "topk",
     "__version__",
+]
+
+#: The pinned attack surface (the measurement side of the privacy gates;
+#: docs/privacy.md).
+ATTACKS_ALL = [
+    "AttributeInferenceResult",
+    "MiaResult",
+    "attribute_inference_attack",
+    "loss_threshold_mia",
+    "membership_auc",
+    "user_level_mia",
+]
+
+#: The pinned DP-primitive surface.  The user_level trio was importable but
+#: unexported until the PR-9 audit; it is part of the contract now.
+DP_ALL = [
+    "BudgetLedger",
+    "RdpAccountant",
+    "bound_user_contributions",
+    "eps_delta_to_rho",
+    "exponential_mechanism",
+    "gaussian_mechanism",
+    "gaussian_sigma",
+    "record_rho_for_user_level",
+    "rho_to_eps",
+    "split_budget",
+    "user_level_rho",
+    "weighted_marginal_budgets",
 ]
 
 #: The pinned serving surface (the HTTP transport stays a module import:
@@ -86,15 +116,22 @@ SERVING_ALL = [
 
 @pytest.mark.parametrize(
     "module, pinned",
-    [(repro, REPRO_ALL), (repro.serving, SERVING_ALL)],
-    ids=["repro", "repro.serving"],
+    [
+        (repro, REPRO_ALL),
+        (repro.attacks, ATTACKS_ALL),
+        (repro.dp, DP_ALL),
+        (repro.serving, SERVING_ALL),
+    ],
+    ids=["repro", "repro.attacks", "repro.dp", "repro.serving"],
 )
 def test_all_is_pinned_exactly(module, pinned):
     assert list(module.__all__) == pinned
 
 
 @pytest.mark.parametrize(
-    "module", [repro, repro.serving], ids=["repro", "repro.serving"]
+    "module",
+    [repro, repro.attacks, repro.dp, repro.serving],
+    ids=["repro", "repro.attacks", "repro.dp", "repro.serving"],
 )
 def test_all_is_sorted_and_unique(module):
     names = [n for n in module.__all__ if not n.startswith("__")]
@@ -103,7 +140,9 @@ def test_all_is_sorted_and_unique(module):
 
 
 @pytest.mark.parametrize(
-    "module", [repro, repro.serving], ids=["repro", "repro.serving"]
+    "module",
+    [repro, repro.attacks, repro.dp, repro.serving],
+    ids=["repro", "repro.attacks", "repro.dp", "repro.serving"],
 )
 def test_every_export_resolves(module):
     for name in module.__all__:

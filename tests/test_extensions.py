@@ -99,6 +99,35 @@ class TestContributionBounding:
         with pytest.raises(ValueError):
             bound_user_contributions(ton, "srcip", max_records=0)
 
+    def test_single_member_groups_are_identity(self, ton):
+        # Degenerate grouping: every record its own user -> nothing to bound,
+        # whatever the cap.
+        unique = ton.head(200)
+        keys = ["srcip", "dstip", "srcport", "dstport", "ts"]
+        if len(np.unique(unique.group_ids(keys))) < unique.n_records:
+            pytest.skip("fixture rows not unique under the 5-tuple key")
+        bounded = bound_user_contributions(unique, keys, max_records=1, rng=0)
+        assert bounded.n_records == unique.n_records
+
+    def test_cap_of_one_keeps_one_record_per_user(self, ton):
+        bounded = bound_user_contributions(ton, "srcip", max_records=1, rng=0)
+        assert bounded.n_records == len(np.unique(ton.column("srcip")))
+        assert np.bincount(bounded.group_ids(["srcip"])).max() == 1
+
+    def test_empty_table_passes_through(self, ton):
+        empty = ton.filter(np.zeros(ton.n_records, dtype=bool))
+        bounded = bound_user_contributions(empty, "srcip", max_records=3, rng=0)
+        assert bounded.n_records == 0
+
+    def test_deterministic_under_pinned_rng(self, ton):
+        a = bound_user_contributions(ton, "srcip", max_records=2, rng=7)
+        b = bound_user_contributions(ton, "srcip", max_records=2, rng=7)
+        assert a.content_digest() == b.content_digest()
+
+    def test_composite_user_key(self, ton):
+        bounded = bound_user_contributions(ton, ["srcip", "dstip"], max_records=2, rng=0)
+        assert np.bincount(bounded.group_ids(["srcip", "dstip"])).max() <= 2
+
 
 class TestGroupPrivacyArithmetic:
     def test_roundtrip(self):
