@@ -133,6 +133,16 @@ GATED_RESULT_METRICS = {
         ("measure", "p99_ms"),
         "lower",
     ),
+    # Fleet: the 4-worker LocalCluster release rate.  Digest-identity with
+    # the single-node serial run is hard-asserted inside the benchmark (and
+    # the experiment) at every scale; the throughput is machine-absolute, so
+    # it takes the wide band.  The >= 1.5x speedup gate is enforced in the
+    # benchmark itself at full scale on >= 4 CPUs.
+    "fleet.local4.records_per_second": (
+        "test_fleet_release",
+        ("rows", "local4", "records_per_second"),
+        "higher",
+    ),
 }
 
 #: Leakage metrics gated as ABSOLUTE ceilings: the committed baseline value

@@ -31,7 +31,12 @@ from repro.engine.backends import (
     get_backend,
     scatter_map,
 )
-from repro.engine.config import BACKENDS, EngineConfig
+from repro.engine.config import (
+    ALL_BACKENDS,
+    BACKENDS,
+    DISTRIBUTED_BACKENDS,
+    EngineConfig,
+)
 from repro.engine.executor import ExecutionResult, execute_plan
 from repro.engine.plan import DecodedShard, ShardResult, SynthesisPlan, shard_sizes
 from repro.engine.streaming import (
@@ -43,8 +48,10 @@ from repro.engine.streaming import (
 from repro.reliability import ShardTaskError
 
 __all__ = [
+    "ALL_BACKENDS",
     "BACKENDS",
     "Backend",
+    "DISTRIBUTED_BACKENDS",
     "DEFAULT_CHUNK",
     "DecodedResult",
     "DecodedShard",

@@ -32,7 +32,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.engine.config import BACKENDS
+from repro.engine.config import ALL_BACKENDS
 from repro.engine.shm import (
     export_result,
     import_result,
@@ -694,14 +694,25 @@ def get_backend(
     retry: "RetryPolicy | int | None" = None,
 ) -> Backend:
     """Instantiate a backend by name (``serial``, ``thread``, ``process``,
-    ``shared``).
+    ``shared``, ``fleet``).
 
     ``task_timeout`` bounds the wait on any single task result;
     ``retry`` (a :class:`~repro.reliability.RetryPolicy`, or an int for
     ``max_retries``) governs resubmission after transient worker faults.
+    The ``fleet`` backend dispatches to the active
+    :class:`repro.fleet.LocalCluster` context (imported lazily: the fleet
+    package depends on this module).
     """
+    if name == "fleet":
+        from repro.fleet.backend import FleetBackend
+
+        return FleetBackend(
+            max_workers=max_workers, task_timeout=task_timeout, retry=retry
+        )
     try:
         cls = _BACKEND_CLASSES[name]
     except KeyError:
-        raise ValueError(f"backend must be one of {BACKENDS}, got {name!r}") from None
+        raise ValueError(
+            f"backend must be one of {ALL_BACKENDS}, got {name!r}"
+        ) from None
     return cls(max_workers=max_workers, task_timeout=task_timeout, retry=retry)

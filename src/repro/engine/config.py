@@ -5,8 +5,17 @@ from __future__ import annotations
 import numbers
 from dataclasses import dataclass
 
-#: Names of the available execution backends.
+#: Names of the self-contained in-process execution backends — usable with
+#: no setup beyond ``EngineConfig``; generic parity suites iterate these.
 BACKENDS = ("serial", "thread", "process", "shared")
+
+#: Backends that need external infrastructure before they can run: ``fleet``
+#: dispatches shards to the active :class:`repro.fleet.LocalCluster`
+#: (multi-worker, crash-tolerant) and fails fast without one.
+DISTRIBUTED_BACKENDS = ("fleet",)
+
+#: Every backend name ``EngineConfig``/``get_backend`` accept.
+ALL_BACKENDS = BACKENDS + DISTRIBUTED_BACKENDS
 
 
 def _positive_int(name: str, value) -> int:
@@ -66,9 +75,9 @@ class EngineConfig:
     max_task_retries: int = 2
 
     def __post_init__(self) -> None:
-        if self.backend not in BACKENDS:
+        if self.backend not in ALL_BACKENDS:
             raise ValueError(
-                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+                f"backend must be one of {ALL_BACKENDS}, got {self.backend!r}"
             )
         # Imported lazily: the kernel registry lives under repro.synthesis,
         # whose package init reaches back into the engine backends.

@@ -27,12 +27,16 @@ unlinks the segment when the last table using it is collected (an unlink
 only removes the name — live mappings stay valid).  Every segment is still
 unlinked exactly once, by the parent.
 
-Segments carry deterministic names — ``nds{parent:x}-{worker:x}-{seq:x}`` —
-so the parent can *sweep* leftovers: if a worker dies between exporting a
-segment and the parent importing it, the handle is lost but the name is
+Segments carry deterministic names —
+``nds{parent:x}-{worker:x}-{token}-{seq:x}``, where ``token`` is the
+worker's boot-unique incarnation token (its ``/proc`` start time) — so the
+parent can *sweep* leftovers: if a worker dies between exporting a segment
+and the parent importing it, the handle is lost but the name is
 reconstructable.  :func:`sweep_orphan_segments` scans ``/dev/shm`` for this
-parent's prefix and unlinks segments whose creating worker is no longer
-alive; the shared backend runs it after every drain and on ``close()``, so a
+parent's prefix and unlinks segments whose creating worker *incarnation* no
+longer exists — a recycled pid with a different start-time token does not
+pin a dead worker's segments (pid liveness alone once did exactly that);
+the shared backend runs it after every drain and on ``close()``, so a
 killed worker cannot leak ``/dev/shm`` space past the run that lost it.
 
 Only values of at least :data:`SHM_MIN_BYTES` travel through segments; small
@@ -72,6 +76,10 @@ _SHM_DIR = "/dev/shm"
 
 #: Per-process sequence for deterministic segment names.
 _SEQ = itertools.count()
+
+#: (pid, token) of the last :func:`_boot_token` computation; recomputed after
+#: a fork (the pid changes), so children never inherit the parent's token.
+_TOKEN_CACHE: tuple[int, str] | None = None
 
 
 @dataclass
@@ -117,9 +125,54 @@ def _unregister(name: str) -> None:
         pass
 
 
+def _proc_start_token(pid: int) -> str | None:
+    """A boot-unique incarnation token for ``pid``: its kernel start time.
+
+    Field 22 of ``/proc/<pid>/stat`` (``starttime``, clock ticks since boot)
+    changes every time a pid is handed to a new process, which is exactly
+    the property pid liveness alone lacks: two incarnations of the same pid
+    get different tokens.  ``None`` when the pid is gone or ``/proc`` is not
+    available (non-Linux hosts).
+    """
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as fh:
+            stat = fh.read()
+        # The comm field is parenthesised and may contain spaces/digits;
+        # everything after the *last* ')' is fixed-position.
+        fields = stat[stat.rindex(b")") + 2 :].split()
+        return f"{int(fields[19]):x}"
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+def _boot_token() -> str:
+    """This process's own incarnation token (cached per pid).
+
+    Falls back to a random token when ``/proc`` is unavailable — still
+    unique per incarnation, just not verifiable by the sweep (which then
+    treats the segment's worker pid-liveness as the best available signal,
+    the pre-token behaviour).
+    """
+    global _TOKEN_CACHE
+    pid = os.getpid()
+    if _TOKEN_CACHE is not None and _TOKEN_CACHE[0] == pid:
+        return _TOKEN_CACHE[1]
+    token = _proc_start_token(pid)
+    if token is None:  # pragma: no cover - non-Linux host
+        token = os.urandom(8).hex()
+    _TOKEN_CACHE = (pid, token)
+    return token
+
+
 def _segment_name(seq: int) -> str:
-    """Deterministic segment name: parent pid, this pid, per-process sequence."""
-    return f"nds{os.getppid():x}-{os.getpid():x}-{seq:x}"
+    """Deterministic segment name: parent pid, this pid + its boot-unique
+    incarnation token, per-process sequence.
+
+    The token is what makes the name safe against pid reuse: a recycled pid
+    cannot collide with (or be mistaken for the owner of) a previous
+    incarnation's segments.
+    """
+    return f"nds{os.getppid():x}-{os.getpid():x}-{_boot_token()}-{seq:x}"
 
 
 def _create_segment(size: int):
@@ -154,10 +207,16 @@ def sweep_orphan_segments() -> int:
     """Unlink segments created for this process by workers that have died.
 
     Scans :data:`_SHM_DIR` for ``nds{this pid:x}-`` names, parses the
-    creating worker's pid out of the name, and unlinks the segment when that
-    worker no longer exists.  Segments of *live* workers are left alone —
-    they are either in flight (the parent will import and unlink them) or
-    about to be handed over.  Returns the number of segments removed.
+    creating worker's pid **and incarnation token** out of the name, and
+    unlinks the segment when that worker incarnation no longer exists —
+    either the pid is gone, or the pid is alive but its current start-time
+    token differs from the one baked into the name (the pid was recycled by
+    an unrelated process, which must not keep a dead worker's segment
+    pinned).  Segments of live, token-matching workers are left alone — they
+    are either in flight (the parent will import and unlink them) or about
+    to be handed over.  Legacy two-part names (``nds{parent}-{pid}-{seq}``,
+    pre-token) fall back to pid liveness alone, as do tokens the sweep
+    cannot recompute (no ``/proc``).  Returns the number of segments removed.
     """
     if not os.path.isdir(_SHM_DIR):  # pragma: no cover - non-POSIX host
         return 0
@@ -166,13 +225,22 @@ def sweep_orphan_segments() -> int:
     for entry in os.listdir(_SHM_DIR):
         if not entry.startswith(prefix):
             continue
-        worker_hex = entry[len(prefix) :].split("-", 1)[0]
+        parts = entry[len(prefix) :].split("-")
         try:
-            worker = int(worker_hex, 16)
-        except ValueError:  # pragma: no cover - foreign name under our prefix
+            worker = int(parts[0], 16)
+        except (ValueError, IndexError):  # pragma: no cover - foreign name
             continue
         if _pid_alive(worker):
-            continue
+            if len(parts) >= 3:
+                live_token = _proc_start_token(worker)
+                if live_token is None or live_token == parts[1]:
+                    # Same incarnation (or unverifiable): genuinely in use.
+                    continue
+                # Alive pid, different start time: the name's owner is dead
+                # and the pid was recycled — the segment is an orphan.
+            else:
+                # Legacy name without a token: liveness is all we have.
+                continue
         try:
             os.unlink(os.path.join(_SHM_DIR, entry))
             swept += 1

@@ -22,6 +22,7 @@ from repro.experiments import (
     engine_scaling,
     fig2_sketch,
     fit_scaling,
+    fleet,
     http_serving,
     privacy,
     reliability,
@@ -63,6 +64,7 @@ EXPERIMENTS = {
     "serve": lambda s: serving.run(s),
     "servehttp": lambda s: http_serving.run(s),
     "reliability": lambda s: reliability.run(s),
+    "fleet": lambda s: fleet.run(s),
     "ablations": lambda s: {
         "allocation": ablations.run_allocation(s),
         "binning": ablations.run_binning_threshold(s),

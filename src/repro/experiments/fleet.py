@@ -1,0 +1,145 @@
+"""Fleet experiment: multi-worker release throughput and digest identity.
+
+Fit once, sample anywhere: the release phase is pure post-processing, so a
+:class:`~repro.fleet.LocalCluster` can fan one release's shards across N
+worker processes with zero DP cost and — because every shard's
+``SeedSequence`` children are fixed before any worker sees them — zero
+output drift.  This experiment measures what the fleet buys and proves what
+it must not change:
+
+- **throughput** — wall-clock ``sample(backend="fleet")`` against the serial
+  single-node baseline at the *same shard count*, plus a worker-count
+  scaling row (the fleet bench gates ``speedup_vs_serial >= 1.5`` at 4
+  workers, full scale, mirroring the shared-backend stream gate);
+- **digest identity** — every fleet release (every worker count, every
+  repetition) must reproduce the serial digest bit-for-bit; asserted here
+  and re-asserted by the benchmark at every scale, smoke included.
+
+The cluster is *warmed* before timing (one small release ships the pickled
+plan to every worker), so the timed rows measure the steady-state release
+path — the fleet's unit of work — not one-time plan shipment, matching how
+the process backends are measured against a warm ``open()``-ed pool.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.core import NetDPSyn, SynthesisConfig
+from repro.datasets import load_dataset
+from repro.experiments.runner import ExperimentScale
+from repro.fleet import LocalCluster
+from repro.utils.timer import Timer
+
+#: Worker counts for the scaling rows; the gate reads the 4-worker row.
+DEFAULT_WORKERS = (2, 4)
+
+#: Shards per release: enough to keep every 4-worker slot busy twice over.
+DEFAULT_SHARDS = 8
+
+
+def _fit(scale: ExperimentScale) -> NetDPSyn:
+    table = load_dataset("ton", n_records=scale.n_records, seed=scale.seed)
+    config = SynthesisConfig(epsilon=scale.epsilon, delta=scale.delta)
+    config.gum.iterations = scale.gum_iterations
+    synthesizer = NetDPSyn(config, rng=scale.seed + 1).fit(table)
+    synthesizer.plan()  # build outside every timed region
+    return synthesizer
+
+
+def _best_of(repetitions: int, sample) -> tuple[float, set]:
+    """Best wall clock over ``repetitions`` runs + every digest observed."""
+    seconds = None
+    digests = set()
+    for _ in range(max(repetitions, 1)):
+        timer = Timer()
+        timer.start()
+        trace = sample()
+        elapsed = timer.stop()
+        digests.add(trace.content_digest())
+        if seconds is None or elapsed < seconds:
+            seconds = elapsed
+    return seconds, digests
+
+
+def run_release(
+    scale: ExperimentScale | None = None,
+    n_synth: int | None = None,
+    workers=DEFAULT_WORKERS,
+    shards: int = DEFAULT_SHARDS,
+    repetitions: int = 1,
+) -> dict:
+    """Measure fleet release throughput vs the serial baseline at ``scale``."""
+    scale = scale or ExperimentScale()
+    n = n_synth if n_synth is not None else scale.n_records
+    synthesizer = _fit(scale)
+    seed = scale.seed + 101
+
+    serial_seconds, serial_digests = _best_of(
+        repetitions,
+        lambda: synthesizer.sample(n, rng=seed, shards=shards, backend="serial"),
+    )
+    (serial_digest,) = serial_digests  # serial repetitions must agree
+    rows = {
+        "serial-1": {
+            "backend": "serial",
+            "workers": 1,
+            "shards": shards,
+            "seconds": serial_seconds,
+            "records_per_second": n / serial_seconds if serial_seconds > 0 else None,
+            "bit_identical": True,
+        }
+    }
+
+    for count in workers:
+        with LocalCluster(workers=count):
+            # Warm the fleet: ships the pickled plan to every worker once,
+            # so the timed rows measure the steady-state release path.
+            warm = synthesizer.sample(
+                min(n, 1000), rng=seed + 1, shards=count, backend="fleet"
+            )
+            del warm
+            seconds, digests = _best_of(
+                repetitions,
+                lambda: synthesizer.sample(n, rng=seed, shards=shards, backend="fleet"),
+            )
+        identical = digests == {serial_digest}
+        assert identical, (
+            f"fleet release at {count} workers diverged from serial: "
+            f"{digests} != {serial_digest}"
+        )
+        rows[f"local{count}"] = {
+            "backend": "fleet",
+            "workers": count,
+            "shards": shards,
+            "seconds": seconds,
+            "records_per_second": n / seconds if seconds > 0 else None,
+            "speedup_vs_serial": serial_seconds / seconds if seconds > 0 else None,
+            "bit_identical": identical,
+        }
+
+    gate_row = rows.get(f"local{max(workers)}", {})
+    return {
+        "n_records_fit": scale.n_records,
+        "n_synthesized": n,
+        "shards": shards,
+        "repetitions": repetitions,
+        "serial_digest": serial_digest,
+        "rows": rows,
+        "bit_identical": all(row["bit_identical"] for row in rows.values()),
+        "measure": {
+            "records_per_second": gate_row.get("records_per_second"),
+            "speedup_vs_serial": gate_row.get("speedup_vs_serial"),
+            "workers": gate_row.get("workers"),
+        },
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def run(scale: ExperimentScale | None = None, **kwargs) -> dict:
+    return run_release(scale, **kwargs)
+
+
+if __name__ == "__main__":
+    print(json.dumps(run(ExperimentScale()), indent=2, default=float))

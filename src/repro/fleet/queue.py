@@ -1,0 +1,123 @@
+"""ShardQueue: the work-queue fanning one release across the fleet.
+
+One release = one list of shard tasks, fixed *before* any worker sees them:
+each task tuple already carries its shard's pre-spawned ``SeedSequence``
+child generators (the engine's ``_decoded_tasks`` derivation — GUM children
+``0..shards-1``, decode children ``shards..2*shards-1``).  The queue only
+decides *where* a shard runs, never *what* it computes, which is the whole
+digest-equality argument:
+
+- **Deterministic assignment.**  A shard's seeds are a function of the
+  release's root ``SeedSequence`` and the shard index alone
+  (:func:`release_seed_specs` publishes exactly that mapping), so scheduling
+  order, worker count, and worker identity are all invisible to the output.
+- **Seed-preserving reassignment.**  :meth:`ShardQueue.release_worker`
+  returns a dead worker's unfinished shards to the pending queue *unchanged*
+  — the retried shard re-runs on its original seed children, exactly like
+  the single-node engine recovery (PR 8), so a release that survives a
+  worker kill is bit-identical to a fault-free one.
+
+The queue is plain bookkeeping (pending deque, leases, results); the
+coordinator's dispatcher thread is its only caller, so it needs no lock.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.fleet.messaging import seed_spec
+
+
+def release_seed_specs(root: np.random.SeedSequence, shards: int) -> list[dict]:
+    """The published seed assignment of one release: shard -> spec pair.
+
+    Mirrors the engine's per-shard stream derivation (GUM child ``i``,
+    decode child ``shards + i``) as wire-auditable ``(entropy, spawn_key)``
+    specs.  Reconstructing generators from these specs yields bit-identical
+    streams to the coordinator's own spawn.
+    """
+    children = root.spawn(2 * shards)
+    return [
+        {"gum": seed_spec(children[i]), "decode": seed_spec(children[shards + i])}
+        for i in range(shards)
+    ]
+
+
+class ShardQueue:
+    """Pending/leased/done bookkeeping for one release's shard tasks."""
+
+    def __init__(self, n_tasks: int) -> None:
+        if n_tasks < 0:
+            raise ValueError(f"n_tasks must be >= 0, got {n_tasks}")
+        self.n_tasks = int(n_tasks)
+        self._pending: deque[int] = deque(range(n_tasks))
+        #: shard index -> worker id currently running it.
+        self._leases: dict[int, str] = {}
+        self._done: set[int] = set()
+        #: shard index -> times it has been handed out (1 = first run).
+        self.attempts: dict[int, int] = dict.fromkeys(range(n_tasks), 0)
+
+    # ------------------------------------------------------------ scheduling
+    def lease(self, worker_id: str) -> int | None:
+        """Hand the next pending shard to ``worker_id`` (``None`` when idle)."""
+        if not self._pending:
+            return None
+        index = self._pending.popleft()
+        self._leases[index] = worker_id
+        self.attempts[index] += 1
+        return index
+
+    def complete(self, index: int, worker_id: str | None = None) -> bool:
+        """Mark a shard finished; ``False`` for stale completions.
+
+        A completion is *stale* when the shard is no longer leased to the
+        reporting worker — e.g. it was reassigned after the worker was
+        expired, then the original worker's late result arrived anyway.
+        Stale results are discarded (the reassigned run produces identical
+        bytes, so dropping either copy is safe; keeping both would
+        double-count).
+        """
+        if index in self._done:
+            return False
+        holder = self._leases.get(index)
+        if holder is None or (worker_id is not None and holder != worker_id):
+            return False
+        del self._leases[index]
+        self._done.add(index)
+        return True
+
+    def release_worker(self, worker_id: str) -> list[int]:
+        """Requeue every shard leased to a dead worker, seeds untouched.
+
+        Requeued shards go to the *front* of the pending queue so recovery
+        latency stays one shard deep, not one release deep.
+        """
+        lost = sorted(
+            index for index, holder in self._leases.items() if holder == worker_id
+        )
+        for index in reversed(lost):
+            del self._leases[index]
+            self._pending.appendleft(index)
+        return lost
+
+    # --------------------------------------------------------------- queries
+    @property
+    def done(self) -> bool:
+        return len(self._done) == self.n_tasks
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    @property
+    def leased(self) -> int:
+        return len(self._leases)
+
+    def lease_holders(self) -> dict[int, str]:
+        return dict(self._leases)
+
+    def max_attempts(self) -> int:
+        """The most times any one shard has been handed out so far."""
+        return max(self.attempts.values(), default=0)

@@ -40,6 +40,7 @@ from repro.reliability.faults import (
     KIND_DROP_SHM,
     KIND_ERROR,
     KIND_KILL,
+    SITE_FLEET_HEARTBEAT,
     SITE_MODEL_LOAD,
     SITE_QUERY,
     SITE_SHARD,
@@ -66,6 +67,7 @@ __all__ = [
     "KIND_DROP_SHM",
     "KIND_ERROR",
     "KIND_KILL",
+    "SITE_FLEET_HEARTBEAT",
     "SITE_MODEL_LOAD",
     "SITE_QUERY",
     "SITE_SHARD",

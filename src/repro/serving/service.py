@@ -445,7 +445,9 @@ class QueryService:
         self._buckets: dict = {}
         self._buckets_lock = threading.Lock()
         self._requests = 0
-        self._started = time.time()
+        # Monotonic: uptime must be immune to wall-clock steps (NTP slew,
+        # manual resets) — time.time() here once produced negative uptimes.
+        self._started = time.monotonic()
         self._inflight = 0
         self._inflight_lock = threading.Lock()
         self._shed = 0
@@ -762,7 +764,7 @@ class QueryService:
             }
         return {
             "schema_version": SCHEMA_VERSION,
-            "uptime_seconds": round(time.time() - self._started, 3),
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
             "requests": requests,
             "cache": self.cache.stats() if self.config.cache_answers else {"enabled": False},
             "batcher": self.batcher.stats(),

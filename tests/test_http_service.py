@@ -11,6 +11,7 @@ promise is exercised here — at the service level and end-to-end over a real
 import json
 import os
 import threading
+import time
 from http.client import HTTPConnection
 
 import pytest
@@ -455,6 +456,22 @@ def test_http_models_info_stats_health(served, model):
     assert status == 200
     assert payload["requests"] >= 1
     assert {"cache", "batcher", "registry"} <= set(payload)
+
+
+def test_stats_uptime_immune_to_wall_clock_steps(model_dir, monkeypatch):
+    """``uptime_seconds`` is monotonic-clock based: an NTP step (or any
+    wall-clock jump) must not produce a huge or negative uptime."""
+    import repro.serving.service as service_module
+
+    service = _service(model_dir)
+    real_time = time.time
+    # Wall clock leaps a year backwards, then forwards, mid-lifetime.
+    for step in (-365 * 86400.0, +365 * 86400.0):
+        monkeypatch.setattr(
+            service_module.time, "time", lambda step=step: real_time() + step
+        )
+        uptime = service.stats()["uptime_seconds"]
+        assert 0 <= uptime < 60, uptime
 
 
 def test_http_stale_answer_invalidated_end_to_end(served, model_b):

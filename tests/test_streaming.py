@@ -397,6 +397,57 @@ class TestArenaDescriptorTransport:
             except FileNotFoundError:
                 pass
 
+    def test_segment_names_carry_boot_unique_token(self):
+        import os
+
+        from repro.engine.shm import _boot_token, _proc_start_token, _segment_name
+
+        name = _segment_name(5)
+        parts = name[len(f"nds{os.getppid():x}-") :].split("-")
+        assert parts == [f"{os.getpid():x}", _boot_token(), "5"]
+        # The token is the kernel's start time for this pid: a recycled pid
+        # would get a different one, so names cannot collide across
+        # incarnations (and the sweep can tell owner from impostor).
+        assert _boot_token() == _proc_start_token(os.getpid())
+
+    def test_sweep_unpins_segment_held_by_recycled_pid(self):
+        """A live pid whose start-time token mismatches the segment name is a
+        *recycled* pid, not the owner: the segment must be swept, not pinned.
+
+        Before the token scheme, pid liveness alone spared these forever."""
+        import os
+        from multiprocessing import shared_memory
+
+        from repro.engine.shm import (
+            _proc_start_token,
+            _unregister,
+            sweep_orphan_segments,
+        )
+
+        me = os.getpid()
+        token = _proc_start_token(me)
+        names = {
+            # Owner incarnation alive: token matches -> spared.
+            "owner": f"nds{me:x}-{me:x}-{token}-1",
+            # Pid alive but token from a previous boot/incarnation -> swept.
+            "recycled": f"nds{me:x}-{me:x}-deadbeef-2",
+        }
+        for name in names.values():
+            seg = shared_memory.SharedMemory(name=name, create=True, size=1024)
+            registered = getattr(seg, "_name", seg.name)
+            seg.close()
+            _unregister(registered)
+        try:
+            assert sweep_orphan_segments() >= 1
+            segments = _shm_segments()
+            assert names["owner"] in segments
+            assert names["recycled"] not in segments
+        finally:
+            try:
+                os.unlink(f"/dev/shm/{names['owner']}")
+            except FileNotFoundError:
+                pass
+
     def test_sharded_shared_sampling_ships_zero_pickled_column_bytes(self, fitted):
         from repro.data.arena import copy_stats
 
